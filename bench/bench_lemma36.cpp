@@ -1,0 +1,92 @@
+// EXP-L36 — Lemma 36 / Corollary 35: the KL-divergence bound driving
+// Theorem 29's batch size.
+//
+// KL(mu_l || mu'_l) <= (l^2 / k)(log(2n/k)/alpha + 1), where mu_l is the
+// l-th down-operator marginal and mu'_l the iid-marginal proposal. We
+// compute the KL *exactly* by enumeration at small n and compare with the
+// bound, showing the l^2/k scaling the batch schedule exploits.
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "distributions/hard_instance.h"
+#include "dpp/general_oracle.h"
+#include "dpp/symmetric_oracle.h"
+#include "linalg/factory.h"
+#include "support/combinatorics.h"
+#include "support/logsum.h"
+#include "support/random.h"
+
+namespace {
+
+using namespace pardpp;
+using namespace pardpp::bench;
+
+// Exact KL(mu_l || mu'_l) by enumerating all l-subsets, in the ordered-
+// tuple normalization used by the rejection sampler.
+double exact_kl(const CountingOracle& oracle, std::size_t l) {
+  const auto n = static_cast<int>(oracle.ground_size());
+  const auto k = oracle.sample_size();
+  const auto p = oracle.marginals();
+  double log_falling = 0.0;
+  for (std::size_t r = 0; r < l; ++r)
+    log_falling += std::log(static_cast<double>(k - r));
+  double kl = 0.0;
+  for_each_subset(n, static_cast<int>(l), [&](std::span<const int> s) {
+    const double log_joint = oracle.log_joint_marginal(s);
+    if (log_joint == kNegInf) return;
+    const double log_mu_l = log_joint - log_binomial(k, l);
+    double log_prop = 0.0;
+    for (const int i : s)
+      log_prop +=
+          std::log(p[static_cast<std::size_t>(i)] / static_cast<double>(k));
+    kl += std::exp(log_mu_l) * (log_joint - log_falling - log_prop);
+  });
+  return kl;
+}
+
+}  // namespace
+
+int main() {
+  print_header("EXP-L36", "Lemma 36 (KL bound, exact enumeration)",
+               "KL(mu_l || mu'_l) <= (l^2/k)(log(2n/k)/alpha + 1); "
+               "measured KL scales ~ l^2 and stays below the bound");
+  Table table({"family", "n", "k", "l", "KL_exact", "bound(alpha=1)",
+               "KL*k/l^2"});
+  RandomStream rng(97001);
+  const int n = 12;
+  const int k = 6;
+  const Matrix sym = random_psd(static_cast<std::size_t>(n), 12, rng, 1e-4);
+  const Matrix nsym = random_npsd(static_cast<std::size_t>(n), rng, 0.5);
+  const SymmetricKdppOracle sym_oracle(sym, static_cast<std::size_t>(k),
+                                       false);
+  const GeneralDppOracle gen_oracle(nsym, static_cast<std::size_t>(k), false);
+  const HardInstanceOracle hard_oracle(12, 6);
+  struct Entry {
+    const char* name;
+    const CountingOracle* oracle;
+  };
+  for (const auto& [name, oracle] :
+       {Entry{"symmetric-kdpp", &sym_oracle},
+        Entry{"nonsymmetric-kdpp", &gen_oracle},
+        Entry{"hard-instance", &hard_oracle}}) {
+    for (const std::size_t l : {1u, 2u, 3u}) {
+      const double kl = exact_kl(*oracle, l);
+      const double bound = static_cast<double>(l * l) /
+                           static_cast<double>(k) *
+                           (std::log(2.0 * n / k) + 1.0);
+      table.add_row({name, fmt_int(static_cast<std::size_t>(n)),
+                     fmt_int(static_cast<std::size_t>(k)), fmt_int(l),
+                     fmt(kl, 5), fmt(bound, 5),
+                     fmt(kl * k / static_cast<double>(l * l), 4)});
+    }
+  }
+  table.print();
+  std::printf(
+      "\nThe last column (KL normalized by l^2/k) is roughly flat per\n"
+      "family — the l^2/k scaling of Lemma 36. The hard instance sits\n"
+      "well below its bound on *average* KL, yet its worst-case ratio\n"
+      "blows up (bench_hard_instance): exactly the average-vs-tail gap\n"
+      "§5.3's concentration argument must bridge.\n");
+  return 0;
+}

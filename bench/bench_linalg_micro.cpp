@@ -1,0 +1,136 @@
+// Google-benchmark microbenchmarks of the linear-algebra substrate — the
+// Õ(1)-depth "oracle primitives" every PRAM round charges. These calibrate
+// the wall-clock cost behind one depth unit at various sizes.
+#include <benchmark/benchmark.h>
+
+#include "dpp/charpoly_engine.h"
+#include "dpp/ensemble.h"
+#include "linalg/cholesky.h"
+#include "linalg/esp.h"
+#include "linalg/factory.h"
+#include "linalg/lu.h"
+#include "linalg/pfaffian.h"
+#include "linalg/symmetric_eigen.h"
+#include "support/random.h"
+
+namespace {
+
+using namespace pardpp;
+
+Matrix psd_fixture(std::size_t n) {
+  RandomStream rng(424242);
+  return random_psd(n, n, rng, 1e-6);
+}
+
+void BM_LuFactor(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Matrix a = psd_fixture(n);
+  for (auto _ : state) {
+    auto lu = lu_factor(a);
+    benchmark::DoNotOptimize(lu.log_abs_det());
+  }
+}
+BENCHMARK(BM_LuFactor)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_Cholesky(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Matrix a = psd_fixture(n);
+  for (auto _ : state) {
+    auto chol = cholesky(a);
+    benchmark::DoNotOptimize(chol->log_det());
+  }
+}
+BENCHMARK(BM_Cholesky)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_SymmetricEigenValuesOnly(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Matrix a = psd_fixture(n);
+  for (auto _ : state) {
+    auto values = symmetric_eigenvalues(a);
+    benchmark::DoNotOptimize(values.back());
+  }
+}
+BENCHMARK(BM_SymmetricEigenValuesOnly)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_SymmetricEigenFull(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Matrix a = psd_fixture(n);
+  for (auto _ : state) {
+    auto eig = symmetric_eigen(a);
+    benchmark::DoNotOptimize(eig.vectors(0, 0));
+  }
+}
+BENCHMARK(BM_SymmetricEigenFull)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_MarginalKernel(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Matrix l = psd_fixture(n);
+  for (auto _ : state) {
+    auto k = marginal_kernel(l);
+    benchmark::DoNotOptimize(k(0, 0));
+  }
+}
+BENCHMARK(BM_MarginalKernel)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_Pfaffian(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  RandomStream rng(7);
+  Matrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double v = rng.normal();
+      a(i, j) = v;
+      a(j, i) = -v;
+    }
+  for (auto _ : state) {
+    auto pf = pfaffian_log(a);
+    benchmark::DoNotOptimize(pf.log_abs);
+  }
+}
+BENCHMARK(BM_Pfaffian)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_LogEsp(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  RandomStream rng(9);
+  std::vector<double> lambda(n);
+  for (auto& v : lambda) v = rng.uniform() * 2.0;
+  for (auto _ : state) {
+    auto e = log_esp(lambda, n / 2);
+    benchmark::DoNotOptimize(e.back());
+  }
+}
+BENCHMARK(BM_LogEsp)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_EngineCacheBuild(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  RandomStream rng(11);
+  const Matrix l = random_npsd(n, rng, 0.5);
+  const std::vector<int> part_of(n, 0);
+  const std::vector<int> counts = {static_cast<int>(n / 4)};
+  for (auto _ : state) {
+    CharPolyEngine engine(l, part_of, 1, counts);
+    benchmark::DoNotOptimize(engine.log_count(counts).log_abs);
+  }
+}
+BENCHMARK(BM_EngineCacheBuild)->Arg(24)->Arg(48)->Arg(96);
+
+void BM_EngineJointMarginal(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  RandomStream rng(13);
+  const Matrix l = random_npsd(n, rng, 0.5);
+  const std::vector<int> part_of(n, 0);
+  const std::vector<int> counts = {static_cast<int>(n / 4)};
+  CharPolyEngine engine(l, part_of, 1, counts);
+  (void)engine.log_count(counts);  // force cache
+  const std::vector<int> batch = {0, 2, 5};
+  const std::vector<int> rest = {static_cast<int>(n / 4) - 3};
+  for (auto _ : state) {
+    auto c = engine.log_count_superset(batch, rest);
+    benchmark::DoNotOptimize(c.log_abs);
+  }
+}
+BENCHMARK(BM_EngineJointMarginal)->Arg(24)->Arg(48)->Arg(96);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,113 @@
+// EXP-T11 — Theorem 11: parallel sampling of planar perfect matchings.
+//
+// The separator sampler's depth recursion D(n) = |separator| + D(2n/3)
+// solves to O(sqrt(n)), versus the sequential matcher's n/2 rounds. We
+// sweep grid sizes, report both depths, and fit the growth exponent of
+// the separator sampler's depth (the paper claims ~0.5; sequential is 1).
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "parallel/pram.h"
+#include "planar/grid.h"
+#include "planar/matching_count.h"
+#include "planar/matching_sampler.h"
+#include "support/random.h"
+#include "support/timer.h"
+
+namespace {
+
+using namespace pardpp;
+using namespace pardpp::bench;
+
+// Second planar family: lozenge tilings of hexagons H(m,m,m). Validates
+// the counting oracle against MacMahon's closed form at every size before
+// sampling.
+void hexagon_series() {
+  print_header("EXP-T11b", "Theorem 11 on lozenge tilings",
+               "same sqrt(n) depth law on the honeycomb/hexagon family; "
+               "counts cross-checked against MacMahon's box formula");
+  Table table({"hexagon", "n", "log#tilings", "macmahon", "seq_depth",
+               "sep_depth", "sep_depth/sqrt(n)", "sep_ms"});
+  RandomStream rng(94002);
+  for (const std::size_t m : {1u, 2u, 3u, 4u, 5u, 6u}) {
+    const auto g = hexagon_honeycomb_graph(m, m, m);
+    const MatchingCounter counter(g);
+    PramLedger sep_ledger;
+    Timer timer;
+    RandomStream run_rng = rng.split();
+    (void)sample_matching_separator(g, run_rng, &sep_ledger);
+    const double sep_ms = timer.millis();
+    const auto n = static_cast<double>(g.num_vertices());
+    table.add_row({"H(" + std::to_string(m) + ")",
+                   fmt_int(g.num_vertices()), fmt(counter.log_count(), 3),
+                   fmt(log_macmahon_box(m, m, m), 3), fmt(n / 2.0, 0),
+                   fmt(sep_ledger.stats().depth, 0),
+                   fmt(sep_ledger.stats().depth / std::sqrt(n), 2),
+                   fmt(sep_ms, 1)});
+  }
+  table.print();
+}
+
+}  // namespace
+
+int main() {
+  print_header("EXP-T11", "Theorem 11 (planar perfect matchings)",
+               "separator sampler depth ~ O(sqrt(n)) sequential rounds "
+               "vs n/2 for the sequential reduction; both exactly uniform");
+  Table table({"grid", "n", "seq_depth(=n/2)", "sep_depth",
+               "c=sep_depth/sqrt(n)", "sep_work(oracle)", "seq_ms",
+               "sep_ms"});
+  RandomStream rng(94001);
+  std::vector<double> log_n;
+  std::vector<double> log_depth;
+  for (const std::size_t side : {4u, 6u, 8u, 10u, 12u, 14u, 16u, 20u}) {
+    const auto g = grid_graph(side, side);
+    const auto n = static_cast<double>(g.num_vertices());
+
+    PramLedger seq_ledger;
+    Timer seq_timer;
+    RandomStream seq_rng = rng.split();
+    (void)sample_matching_sequential(g, seq_rng, &seq_ledger);
+    const double seq_ms = seq_timer.millis();
+
+    PramLedger sep_ledger;
+    Timer sep_timer;
+    RandomStream sep_rng = rng.split();
+    (void)sample_matching_separator(g, sep_rng, &sep_ledger);
+    const double sep_ms = sep_timer.millis();
+
+    const double sep_depth = sep_ledger.stats().depth;
+    log_n.push_back(std::log(n));
+    log_depth.push_back(std::log(sep_depth));
+    table.add_row({std::to_string(side) + "x" + std::to_string(side),
+                   fmt_int(g.num_vertices()),
+                   fmt(seq_ledger.stats().depth, 0), fmt(sep_depth, 0),
+                   fmt(sep_depth / std::sqrt(n), 2),
+                   fmt(sep_ledger.stats().work, 0), fmt(seq_ms, 1),
+                   fmt(sep_ms, 1)});
+  }
+  table.print();
+  // Least-squares slope of log depth vs log n = growth exponent.
+  double sx = 0.0;
+  double sy = 0.0;
+  double sxx = 0.0;
+  double sxy = 0.0;
+  const auto m = static_cast<double>(log_n.size());
+  for (std::size_t i = 0; i < log_n.size(); ++i) {
+    sx += log_n[i];
+    sy += log_depth[i];
+    sxx += log_n[i] * log_n[i];
+    sxy += log_n[i] * log_depth[i];
+  }
+  const double slope = (m * sxy - sx * sy) / (m * sxx - sx * sx);
+  std::printf(
+      "\nfitted depth exponent: depth ~ n^%.3f   (paper: 0.5 up to logs; "
+      "sequential baseline: 1.0)\n"
+      "(the recursion constant ~ sum over levels of sqrt(2/3)^j inflates\n"
+      "the small-n fit; the c = depth/sqrt(n) column stabilizing while\n"
+      "depth/n falls is the quadratic speedup)\n",
+      slope);
+  hexagon_series();
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Shared helpers for the experiment harness binaries.
+//
+// Every bench prints: a header naming the experiment (DESIGN.md §3 index),
+// the paper claim being reproduced, and an aligned table of measured
+// series. EXPERIMENTS.md records paper-vs-measured for each.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace pardpp::bench {
+
+inline void print_header(const std::string& experiment_id,
+                         const std::string& artifact,
+                         const std::string& claim) {
+  std::printf("\n================================================================\n");
+  std::printf("# %s — %s\n", experiment_id.c_str(), artifact.c_str());
+  std::printf("# claim: %s\n", claim.c_str());
+  std::printf("================================================================\n");
+}
+
+/// Prints one aligned table: a row of column names then value rows.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> columns)
+      : columns_(std::move(columns)) {}
+
+  void add_row(const std::vector<std::string>& values) {
+    rows_.push_back(values);
+  }
+
+  void print() const {
+    std::vector<std::size_t> widths(columns_.size());
+    for (std::size_t c = 0; c < columns_.size(); ++c)
+      widths[c] = columns_[c].size();
+    for (const auto& row : rows_)
+      for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c)
+        widths[c] = std::max(widths[c], row[c].size());
+    auto print_row = [&](const std::vector<std::string>& row) {
+      for (std::size_t c = 0; c < row.size(); ++c)
+        std::printf("%-*s  ", static_cast<int>(widths[c]), row[c].c_str());
+      std::printf("\n");
+    };
+    print_row(columns_);
+    for (const auto& row : rows_) print_row(row);
+  }
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string fmt(double v, int precision = 3) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+inline std::string fmt_int(std::size_t v) { return std::to_string(v); }
+
+}  // namespace pardpp::bench

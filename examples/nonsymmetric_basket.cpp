@@ -1,0 +1,118 @@
+// Nonsymmetric DPPs model *positive* correlations — the paper's §1.1
+// motivation ([Bru18; Gar+19]) that symmetric DPPs cannot express.
+//
+// Market-basket scenario: "printer" and "ink" should co-occur more often
+// than independently (complements), while two printers repel. A symmetric
+// DPP forces negative correlation everywhere (Lemma 16); a nonsymmetric
+// PSD ensemble with a skew component between complements produces lift
+// above 1. We sample both with the library's samplers (Remark 15:
+// cardinality draw + k-DPP) and report pairwise lifts.
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "pardpp.h"
+
+namespace {
+
+using namespace pardpp;
+
+// Items: 0 printer-A, 1 printer-B, 2 ink, 3 paper, 4 laptop, 5 mouse.
+const char* kItems[] = {"printerA", "printerB", "ink", "paper", "laptop",
+                        "mouse"};
+constexpr std::size_t kN = 6;
+
+std::vector<int> sample_unconstrained(const Matrix& l, bool symmetric,
+                                      RandomStream& rng) {
+  // Remark 15: draw |S| from the cardinality distribution, then the
+  // k-DPP.
+  const auto weights = cardinality_log_weights(l, symmetric);
+  const std::size_t k = sample_cardinality(weights, rng);
+  if (k == 0) return {};
+  if (symmetric) {
+    const SymmetricKdppOracle oracle(l, k, false);
+    return sample_batched(oracle, rng).items;
+  }
+  const GeneralDppOracle oracle(l, k, false);
+  EntropicOptions options;
+  options.cap_slack = 4.0;
+  return sample_entropic(oracle, rng, nullptr, options).items;
+}
+
+void report(const char* label, const Matrix& l, bool symmetric,
+            RandomStream& rng) {
+  const int trials = 4000;
+  std::vector<double> singleton(kN, 0.0);
+  Matrix pair_counts(kN, kN);
+  std::vector<int> example_basket;
+  for (int trial = 0; trial < trials; ++trial) {
+    const auto basket = sample_unconstrained(l, symmetric, rng);
+    if (trial == 0) example_basket = basket;
+    for (const int a : basket) {
+      singleton[static_cast<std::size_t>(a)] += 1.0;
+      for (const int b : basket)
+        if (a < b) pair_counts(static_cast<std::size_t>(a),
+                               static_cast<std::size_t>(b)) += 1.0;
+    }
+  }
+  const auto lift = [&](std::size_t a, std::size_t b) {
+    const double pa = singleton[a] / trials;
+    const double pb = singleton[b] / trials;
+    const double pab = pair_counts(a, b) / trials;
+    return pab / std::max(pa * pb, 1e-9);
+  };
+  std::printf("%s\n", label);
+  std::printf("  example basket: {");
+  for (const int item : example_basket)
+    std::printf(" %s", kItems[static_cast<std::size_t>(item)]);
+  std::printf(" }\n");
+  std::printf("  P[printerA] = %.3f, P[ink] = %.3f\n", singleton[0] / trials,
+              singleton[2] / trials);
+  std::printf("  lift(printerA, ink)      = %.2f  %s\n", lift(0, 2),
+              lift(0, 2) > 1.0 ? "(complements: bought together!)"
+                               : "(repelled)");
+  std::printf("  lift(printerA, printerB) = %.2f  (substitutes: repelled)\n",
+              lift(0, 1));
+  std::printf("  lift(laptop, mouse)      = %.2f\n\n", lift(4, 5));
+}
+
+}  // namespace
+
+int main() {
+  RandomStream rng(23);
+
+  // Base symmetric similarity: printers similar to each other; ink/paper
+  // mildly similar; laptop/mouse a second cluster.
+  Matrix s = Matrix::identity(kN);
+  const auto set_sym = [&s](std::size_t a, std::size_t b, double v) {
+    s(a, b) = v;
+    s(b, a) = v;
+  };
+  set_sym(0, 1, 0.85);  // the two printers: near-duplicates
+  set_sym(2, 3, 0.30);
+  set_sym(4, 5, 0.40);
+  s *= 0.9;
+
+  // Symmetric DPP: necessarily negative dependence everywhere.
+  report("symmetric DPP (L = similarity only):", s, /*symmetric=*/true, rng);
+
+  // Nonsymmetric PSD: add a skew block between complements
+  // (printer <-> ink, laptop <-> mouse). L + L^T = 2S stays PSD.
+  Matrix l = s;
+  const auto set_skew = [&l](std::size_t a, std::size_t b, double v) {
+    l(a, b) += v;
+    l(b, a) -= v;
+  };
+  set_skew(0, 2, 0.80);  // printerA boosts ink
+  set_skew(1, 2, 0.60);  // printerB boosts ink
+  set_skew(4, 5, 0.70);  // laptop boosts mouse
+  report("nonsymmetric DPP (skew complement coupling added):", l,
+         /*symmetric=*/false, rng);
+
+  std::printf(
+      "A symmetric DPP can only repel (all lifts <= ~1); the skew part\n"
+      "creates genuine positive association between complements while\n"
+      "printerA/printerB keep repelling — Definition 4's extra modeling\n"
+      "power.\n");
+  return 0;
+}

@@ -1,0 +1,91 @@
+#include "distributions/explicit.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/logsum.h"
+
+namespace pardpp {
+
+ExplicitOracle::ExplicitOracle(std::size_t n, std::size_t k)
+    : n_(n), k_(k), indexer_(static_cast<int>(n), static_cast<int>(k)) {}
+
+ExplicitOracle::ExplicitOracle(
+    std::size_t n, std::size_t k,
+    const std::function<double(std::span<const int>)>& log_mass)
+    : ExplicitOracle(n, k) {
+  log_masses_.assign(indexer_.count(), kNegInf);
+  for_each_subset(static_cast<int>(n), static_cast<int>(k),
+                  [&](std::span<const int> subset) {
+                    log_masses_[indexer_.rank(subset)] = log_mass(subset);
+                  });
+  log_z_ = logsumexp(log_masses_);
+  check_arg(log_z_ != kNegInf, "ExplicitOracle: zero total mass");
+}
+
+double ExplicitOracle::log_probability(std::span<const int> subset) const {
+  return log_masses_[indexer_.rank(subset)] - log_z_;
+}
+
+double ExplicitOracle::log_joint_marginal(std::span<const int> t) const {
+  if (t.size() > k_) return kNegInf;
+  for (std::size_t a = 0; a < t.size(); ++a) {
+    check_arg(t[a] >= 0 && static_cast<std::size_t>(t[a]) < n_,
+              "ExplicitOracle: index out of range");
+    for (std::size_t b = a + 1; b < t.size(); ++b)
+      check_arg(t[a] != t[b], "ExplicitOracle: duplicate index");
+  }
+  double acc = kNegInf;
+  for_each_subset(static_cast<int>(n_), static_cast<int>(k_),
+                  [&](std::span<const int> subset) {
+                    for (const int want : t) {
+                      if (!std::binary_search(subset.begin(), subset.end(),
+                                              want))
+                        return;
+                    }
+                    acc = log_add(acc, log_masses_[indexer_.rank(subset)]);
+                  });
+  return acc - log_z_;
+}
+
+std::vector<double> ExplicitOracle::marginals() const {
+  std::vector<double> p(n_, 0.0);
+  for_each_subset(static_cast<int>(n_), static_cast<int>(k_),
+                  [&](std::span<const int> subset) {
+                    const double mass =
+                        std::exp(log_masses_[indexer_.rank(subset)] - log_z_);
+                    for (const int i : subset)
+                      p[static_cast<std::size_t>(i)] += mass;
+                  });
+  return p;
+}
+
+std::unique_ptr<CountingOracle> ExplicitOracle::condition(
+    std::span<const int> t) const {
+  check_numeric(log_joint_marginal(t) != kNegInf,
+                "ExplicitOracle: conditioning on a null event");
+  std::vector<int> keep;
+  std::vector<bool> in_t(n_, false);
+  for (const int i : t) in_t[static_cast<std::size_t>(i)] = true;
+  for (std::size_t i = 0; i < n_; ++i)
+    if (!in_t[i]) keep.push_back(static_cast<int>(i));
+  std::vector<int> t_sorted(t.begin(), t.end());
+  std::sort(t_sorted.begin(), t_sorted.end());
+  return std::make_unique<ExplicitOracle>(
+      keep.size(), k_ - t.size(), [&](std::span<const int> subset) {
+        std::vector<int> full = t_sorted;
+        for (const int i : subset)
+          full.push_back(keep[static_cast<std::size_t>(i)]);
+        std::sort(full.begin(), full.end());
+        return log_masses_[indexer_.rank(full)];
+      });
+}
+
+std::unique_ptr<CountingOracle> ExplicitOracle::clone() const {
+  auto copy = std::unique_ptr<ExplicitOracle>(new ExplicitOracle(n_, k_));
+  copy->log_masses_ = log_masses_;
+  copy->log_z_ = log_z_;
+  return copy;
+}
+
+}  // namespace pardpp

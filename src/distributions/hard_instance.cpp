@@ -1,0 +1,118 @@
+#include "distributions/hard_instance.h"
+
+#include <cmath>
+
+#include "support/combinatorics.h"
+#include "support/logsum.h"
+
+namespace pardpp {
+
+HardInstanceOracle::HardInstanceOracle(std::size_t n, std::size_t k) : k_(k) {
+  check_arg(n % 2 == 0, "HardInstanceOracle: n must be even");
+  check_arg(k % 2 == 0, "HardInstanceOracle: k must be even");
+  check_arg(k <= n, "HardInstanceOracle: k exceeds n");
+  partner_.resize(n);
+  for (std::size_t i = 0; i < n; i += 2) {
+    partner_[i] = static_cast<int>(i + 1);
+    partner_[i + 1] = static_cast<int>(i);
+  }
+  free_pairs_ = n / 2;
+  forced_ = 0;
+}
+
+double HardInstanceOracle::log_joint_marginal(std::span<const int> t) const {
+  if (t.size() > k_) return kNegInf;
+  // Classify T: forced elements contribute probability one; free-pair
+  // elements require their pair to be selected. A pair hit twice (a
+  // "duplicate" in the paper's §7 terminology) is one selected pair.
+  std::vector<bool> seen(partner_.size(), false);
+  std::size_t pairs_touched = 0;
+  std::size_t forced_in_t = 0;
+  for (const int i : t) {
+    check_arg(i >= 0 && static_cast<std::size_t>(i) < partner_.size(),
+              "HardInstanceOracle: index out of range");
+    check_arg(!seen[static_cast<std::size_t>(i)],
+              "HardInstanceOracle: duplicate index in T");
+    seen[static_cast<std::size_t>(i)] = true;
+    if (partner_[static_cast<std::size_t>(i)] < 0) ++forced_in_t;
+  }
+  for (const int i : t) {
+    const int p = partner_[static_cast<std::size_t>(i)];
+    if (p < 0) continue;
+    // Count each touched pair once (when we see its smaller-index member
+    // among those present, or the element itself if the partner is not in
+    // T).
+    if (seen[static_cast<std::size_t>(p)] && p < i) continue;
+    ++pairs_touched;
+  }
+  // Pairs still needed in total: (k - forced_) / 2 among free_pairs_.
+  const std::size_t pairs_needed = (k_ - forced_) / 2;
+  if (pairs_touched > pairs_needed) return kNegInf;
+  if (pairs_touched > free_pairs_) return kNegInf;
+  (void)forced_in_t;
+  // P = C(F - q, J - q) / C(F, J) with F free pairs, J needed, q touched.
+  return log_binomial(free_pairs_ - pairs_touched,
+                      pairs_needed - pairs_touched) -
+         log_binomial(free_pairs_, pairs_needed);
+}
+
+std::vector<double> HardInstanceOracle::marginals() const {
+  std::vector<double> p(partner_.size(), 0.0);
+  const std::size_t pairs_needed = (k_ - forced_) / 2;
+  const double free_marginal =
+      free_pairs_ > 0
+          ? static_cast<double>(pairs_needed) / static_cast<double>(free_pairs_)
+          : 0.0;
+  for (std::size_t i = 0; i < partner_.size(); ++i) {
+    p[i] = partner_[i] < 0 ? 1.0 : free_marginal;
+  }
+  return p;
+}
+
+std::unique_ptr<CountingOracle> HardInstanceOracle::condition(
+    std::span<const int> t) const {
+  check_numeric(log_joint_marginal(t) != kNegInf,
+                "HardInstanceOracle: conditioning on a null event");
+  auto out = std::unique_ptr<HardInstanceOracle>(new HardInstanceOracle());
+  out->k_ = k_ - t.size();
+  // Mark removals, then rebuild partners under compaction.
+  std::vector<bool> removed(partner_.size(), false);
+  for (const int i : t) removed[static_cast<std::size_t>(i)] = true;
+  std::vector<int> remap(partner_.size(), -1);
+  int next = 0;
+  for (std::size_t i = 0; i < partner_.size(); ++i)
+    if (!removed[i]) remap[i] = next++;
+  out->partner_.assign(static_cast<std::size_t>(next), -1);
+  out->free_pairs_ = 0;
+  out->forced_ = 0;
+  for (std::size_t i = 0; i < partner_.size(); ++i) {
+    if (removed[i]) continue;
+    const int p = partner_[i];
+    if (p < 0) {
+      // Already forced, stays forced.
+      ++out->forced_;
+      continue;
+    }
+    if (removed[static_cast<std::size_t>(p)]) {
+      // Partner conditioned in: i becomes forced.
+      out->partner_[static_cast<std::size_t>(remap[i])] = -1;
+      ++out->forced_;
+    } else {
+      out->partner_[static_cast<std::size_t>(remap[i])] =
+          remap[static_cast<std::size_t>(p)];
+      if (p > static_cast<int>(i)) ++out->free_pairs_;
+    }
+  }
+  return out;
+}
+
+std::unique_ptr<CountingOracle> HardInstanceOracle::clone() const {
+  auto out = std::unique_ptr<HardInstanceOracle>(new HardInstanceOracle());
+  out->partner_ = partner_;
+  out->k_ = k_;
+  out->free_pairs_ = free_pairs_;
+  out->forced_ = forced_;
+  return out;
+}
+
+}  // namespace pardpp

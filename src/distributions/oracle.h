@@ -1,0 +1,108 @@
+// The counting oracle — the paper's central abstraction.
+//
+// All samplers in pardpp are reductions from sampling to counting: they
+// interact with a distribution mu on size-k subsets of a ground set only
+// through the queries below (paper §1: "the oracle returns
+// sum { mu(S) : T ⊆ S }", normalized here to joint marginals, plus
+// self-reducibility via conditioning). Determinantal families implement
+// the interface with linear algebra; the §7 hard instance implements it
+// combinatorially; the test suite implements it by exhaustive enumeration.
+#pragma once
+
+#include <algorithm>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "support/error.h"
+
+namespace pardpp {
+
+/// Counting-oracle access to a distribution mu on ([m] choose k), where m
+/// = ground_size() and k = sample_size() refer to the *current
+/// conditional* distribution (conditioning re-indexes the ground set by
+/// deleting the conditioned elements and preserving the order of the
+/// rest).
+class CountingOracle {
+ public:
+  virtual ~CountingOracle() = default;
+
+  /// Size of the current ground set.
+  [[nodiscard]] virtual std::size_t ground_size() const = 0;
+
+  /// Number of elements a sample of the current conditional contains.
+  [[nodiscard]] virtual std::size_t sample_size() const = 0;
+
+  /// log P_{S ~ mu}[T ⊆ S]. T must contain distinct in-range indices;
+  /// |T| > sample_size() yields -inf. This is the paper's counting query,
+  /// normalized by the partition function.
+  [[nodiscard]] virtual double log_joint_marginal(
+      std::span<const int> t) const = 0;
+
+  /// Singleton marginals P[i ∈ S] for every ground element; the entries
+  /// sum to sample_size().
+  [[nodiscard]] virtual std::vector<double> marginals() const = 0;
+
+  /// The conditional distribution mu(· | T ⊆ S), over the ground set with
+  /// T removed. Throws if P[T ⊆ S] = 0.
+  [[nodiscard]] virtual std::unique_ptr<CountingOracle> condition(
+      std::span<const int> t) const = 0;
+
+  [[nodiscard]] virtual std::unique_ptr<CountingOracle> clone() const = 0;
+
+  /// Family name, for diagnostics.
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Maps indices of a repeatedly conditioned ground set back to original
+/// element ids. Mirrors the re-indexing convention of
+/// CountingOracle::condition (delete + compact, order preserved).
+class IndexTracker {
+ public:
+  explicit IndexTracker(std::size_t n) : ids_(n) {
+    for (std::size_t i = 0; i < n; ++i) ids_[i] = static_cast<int>(i);
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return ids_.size(); }
+
+  /// Original id of a current-index element.
+  [[nodiscard]] int original(int current) const {
+    check_arg(current >= 0 && static_cast<std::size_t>(current) < ids_.size(),
+              "IndexTracker: index out of range");
+    return ids_[static_cast<std::size_t>(current)];
+  }
+
+  [[nodiscard]] std::vector<int> originals(std::span<const int> current) const {
+    std::vector<int> out;
+    out.reserve(current.size());
+    for (const int c : current) out.push_back(original(c));
+    return out;
+  }
+
+  /// Removes the given current-index positions (they need not be sorted).
+  void remove(std::vector<int> positions) {
+    std::sort(positions.begin(), positions.end());
+    std::vector<int> next;
+    next.reserve(ids_.size() - positions.size());
+    std::size_t cursor = 0;
+    for (std::size_t i = 0; i < ids_.size(); ++i) {
+      if (cursor < positions.size() &&
+          positions[cursor] == static_cast<int>(i)) {
+        check_arg(cursor + 1 == positions.size() ||
+                      positions[cursor + 1] != positions[cursor],
+                  "IndexTracker: duplicate position");
+        ++cursor;
+        continue;
+      }
+      next.push_back(ids_[i]);
+    }
+    check_arg(cursor == positions.size(), "IndexTracker: position out of range");
+    ids_ = std::move(next);
+  }
+
+ private:
+  std::vector<int> ids_;
+};
+
+}  // namespace pardpp

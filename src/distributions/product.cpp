@@ -1,0 +1,42 @@
+#include "distributions/product.h"
+
+#include "support/combinatorics.h"
+#include "support/logsum.h"
+
+namespace pardpp {
+
+UniformKSubsetOracle::UniformKSubsetOracle(std::size_t n, std::size_t k)
+    : n_(n), k_(k) {
+  check_arg(k <= n, "UniformKSubsetOracle: k exceeds n");
+}
+
+double UniformKSubsetOracle::log_joint_marginal(std::span<const int> t) const {
+  if (t.size() > k_) return kNegInf;
+  std::vector<bool> seen(n_, false);
+  for (const int i : t) {
+    check_arg(i >= 0 && static_cast<std::size_t>(i) < n_,
+              "UniformKSubsetOracle: index out of range");
+    check_arg(!seen[static_cast<std::size_t>(i)],
+              "UniformKSubsetOracle: duplicate index");
+    seen[static_cast<std::size_t>(i)] = true;
+  }
+  // P[T ⊆ S] = C(n-t, k-t) / C(n, k).
+  return log_binomial(n_ - t.size(), k_ - t.size()) - log_binomial(n_, k_);
+}
+
+std::vector<double> UniformKSubsetOracle::marginals() const {
+  return std::vector<double>(
+      n_, n_ == 0 ? 0.0 : static_cast<double>(k_) / static_cast<double>(n_));
+}
+
+std::unique_ptr<CountingOracle> UniformKSubsetOracle::condition(
+    std::span<const int> t) const {
+  check_arg(t.size() <= k_, "UniformKSubsetOracle: |T| exceeds k");
+  return std::make_unique<UniformKSubsetOracle>(n_ - t.size(), k_ - t.size());
+}
+
+std::unique_ptr<CountingOracle> UniformKSubsetOracle::clone() const {
+  return std::make_unique<UniformKSubsetOracle>(n_, k_);
+}
+
+}  // namespace pardpp

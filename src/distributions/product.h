@@ -1,0 +1,31 @@
+// Baseline combinatorial oracles.
+//
+// UniformKSubsetOracle: mu uniform over ([n] choose k) — the L = I k-DPP.
+// Exchangeable, strongly Rayleigh, closed-form counting; used to validate
+// the samplers' plumbing independently of any linear algebra, and as the
+// trivial extreme in property sweeps.
+#pragma once
+
+#include "distributions/oracle.h"
+
+namespace pardpp {
+
+class UniformKSubsetOracle final : public CountingOracle {
+ public:
+  UniformKSubsetOracle(std::size_t n, std::size_t k);
+
+  [[nodiscard]] std::size_t ground_size() const override { return n_; }
+  [[nodiscard]] std::size_t sample_size() const override { return k_; }
+  [[nodiscard]] double log_joint_marginal(std::span<const int> t) const override;
+  [[nodiscard]] std::vector<double> marginals() const override;
+  [[nodiscard]] std::unique_ptr<CountingOracle> condition(
+      std::span<const int> t) const override;
+  [[nodiscard]] std::unique_ptr<CountingOracle> clone() const override;
+  [[nodiscard]] std::string name() const override { return "uniform-k-subset"; }
+
+ private:
+  std::size_t n_;
+  std::size_t k_;
+};
+
+}  // namespace pardpp

@@ -1,0 +1,42 @@
+#include "dpp/cardinality.h"
+
+#include <cmath>
+
+#include "linalg/charpoly.h"
+#include "linalg/esp.h"
+#include "linalg/symmetric_eigen.h"
+#include "support/error.h"
+#include "support/logsum.h"
+
+namespace pardpp {
+
+std::vector<double> cardinality_log_weights(const Matrix& l, bool symmetric) {
+  check_arg(l.square(), "cardinality_log_weights: matrix not square");
+  const std::size_t n = l.rows();
+  if (symmetric) {
+    const auto lambda = symmetric_eigenvalues(l);
+    return log_esp(lambda, n);
+  }
+  // General path: interpolate at the saddle point of the expected size so
+  // the bulk of the distribution is extracted at full precision (the far
+  // tails are negligible probabilities; Lemma 14 concentration).
+  const auto coeffs = charpoly_log_coeffs(l, n);
+  std::vector<double> out(n + 1, kNegInf);
+  for (std::size_t j = 0; j <= n; ++j) {
+    if (coeffs[j].sign > 0) out[j] = coeffs[j].log_abs;
+  }
+  return out;
+}
+
+std::size_t sample_cardinality(std::span<const double> log_weights,
+                               RandomStream& rng) {
+  check_arg(!log_weights.empty(), "sample_cardinality: empty weights");
+  const double log_z = logsumexp(log_weights);
+  check_arg(log_z != kNegInf, "sample_cardinality: all weights zero");
+  std::vector<double> probs(log_weights.size());
+  for (std::size_t j = 0; j < probs.size(); ++j)
+    probs[j] = std::exp(log_weights[j] - log_z);
+  return rng.categorical(probs);
+}
+
+}  // namespace pardpp

@@ -1,0 +1,26 @@
+// Cardinality distribution of an unconstrained DPP (Remark 15 / Prop. 13.2).
+//
+// P[|S| = j] = e_j(L) / det(I + L): the sizes follow the coefficients of
+// det(I + zL). Sampling an unconstrained DPP reduces to drawing |S| from
+// this distribution and then running a k-DPP sampler — the composition the
+// paper uses to lift every fixed-size result to the unconstrained case.
+#pragma once
+
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "support/random.h"
+
+namespace pardpp {
+
+/// log e_j(L) for j = 0..n (unnormalized log size-weights). `symmetric`
+/// selects the eigenvalue path; otherwise the characteristic-polynomial
+/// interpolation path is used. Entries for impossible sizes are -inf.
+[[nodiscard]] std::vector<double> cardinality_log_weights(const Matrix& l,
+                                                          bool symmetric);
+
+/// Draws a size from (normalized) log-weights.
+[[nodiscard]] std::size_t sample_cardinality(
+    std::span<const double> log_weights, RandomStream& rng);
+
+}  // namespace pardpp

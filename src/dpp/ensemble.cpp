@@ -1,0 +1,59 @@
+#include "dpp/ensemble.h"
+
+#include "linalg/cholesky.h"
+#include "linalg/lu.h"
+#include "support/error.h"
+
+namespace pardpp {
+
+Matrix marginal_kernel(const Matrix& l) {
+  check_arg(l.square(), "marginal_kernel: matrix not square");
+  const std::size_t n = l.rows();
+  Matrix a = l;
+  for (std::size_t i = 0; i < n; ++i) a(i, i) += 1.0;
+  const auto lu = lu_factor(std::move(a));
+  check_numeric(!lu.singular(), "marginal_kernel: I + L singular");
+  Matrix k = Matrix::identity(n);
+  k -= lu.inverse();
+  return k;
+}
+
+Matrix ensemble_from_kernel(const Matrix& k) {
+  check_arg(k.square(), "ensemble_from_kernel: matrix not square");
+  const std::size_t n = k.rows();
+  Matrix a = Matrix::identity(n);
+  a -= k;
+  const auto lu = lu_factor(std::move(a));
+  check_numeric(!lu.singular(),
+                "ensemble_from_kernel: I - K singular (kernel has an "
+                "eigenvalue at 1; no finite L-ensemble exists)");
+  // L = K (I - K)^{-1} = (I - K)^{-1} - I.
+  Matrix l = lu.inverse();
+  for (std::size_t i = 0; i < n; ++i) l(i, i) -= 1.0;
+  return l;
+}
+
+double log_partition_function(const Matrix& l) {
+  check_arg(l.square(), "log_partition_function: matrix not square");
+  Matrix a = l;
+  for (std::size_t i = 0; i < a.rows(); ++i) a(i, i) += 1.0;
+  const auto sld = signed_log_det(a);
+  check_numeric(sld.sign > 0,
+                "log_partition_function: det(I + L) not positive — L is not "
+                "a valid ensemble matrix");
+  return sld.log_abs;
+}
+
+void validate_ensemble(const Matrix& l, bool symmetric) {
+  check_arg(l.square(), "validate_ensemble: matrix not square");
+  if (symmetric) {
+    check_arg(l.is_symmetric(1e-8),
+              "validate_ensemble: matrix is not symmetric");
+    check_arg(is_psd(l), "validate_ensemble: symmetric matrix is not PSD");
+  } else {
+    check_arg(is_npsd(l),
+              "validate_ensemble: L + L^T is not PSD (Definition 4)");
+  }
+}
+
+}  // namespace pardpp

@@ -1,0 +1,28 @@
+// L-ensemble fundamentals (paper §3.2).
+//
+// A DPP on [n] is parameterized by an ensemble matrix L with nonnegative
+// principal minors: P[Y] ∝ det(L_Y), partition function det(I + L). The
+// marginal kernel K = L(I+L)^{-1} gives containment probabilities
+// P[A ⊆ Y] = det(K_A); the two parameterizations are interconvertible via
+// equations (1)/(2) of the paper.
+#pragma once
+
+#include "linalg/matrix.h"
+
+namespace pardpp {
+
+/// K = L (I + L)^{-1} = I - (I + L)^{-1} (paper eq. (1)).
+[[nodiscard]] Matrix marginal_kernel(const Matrix& l);
+
+/// L = K (I - K)^{-1} (paper eq. (2)); requires sigma_max(K) < 1.
+[[nodiscard]] Matrix ensemble_from_kernel(const Matrix& k);
+
+/// log det(I + L), the log partition function of the unconstrained DPP.
+[[nodiscard]] double log_partition_function(const Matrix& l);
+
+/// Validates that L defines a DPP of the requested symmetry class; throws
+/// InvalidArgument otherwise. `symmetric` demands L = L^T PSD; otherwise
+/// L + L^T PSD (Definition 4).
+void validate_ensemble(const Matrix& l, bool symmetric);
+
+}  // namespace pardpp

@@ -1,0 +1,110 @@
+#include "dpp/feature_oracle.h"
+
+#include <cmath>
+
+#include "linalg/cholesky.h"
+#include "linalg/symmetric_eigen.h"
+#include "support/logsum.h"
+
+namespace pardpp {
+
+FeatureKdppOracle::FeatureKdppOracle(Matrix features, std::size_t k)
+    : features_(std::move(features)), k_(k) {
+  check_arg(k_ <= features_.rows(),
+            "FeatureKdppOracle: k exceeds ground size");
+  check_arg(k_ <= features_.cols(),
+            "FeatureKdppOracle: k exceeds the feature dimension "
+            "(rank bound)");
+}
+
+const LowRankEigen& FeatureKdppOracle::eigen() const {
+  if (!eigen_.has_value()) eigen_ = eigen_from_features(features_);
+  return *eigen_;
+}
+
+const LogEspTable& FeatureKdppOracle::esp() const {
+  if (!esp_.has_value()) esp_ = LogEspTable(eigen().values, k_);
+  return *esp_;
+}
+
+std::vector<double> FeatureKdppOracle::marginals() const {
+  const std::size_t n = ground_size();
+  std::vector<double> p(n, 0.0);
+  if (k_ == 0) return p;
+  const auto& eig = eigen();
+  const auto& table = esp();
+  check_numeric(eig.values.size() >= k_,
+                "FeatureKdppOracle: rank below k — partition function zero");
+  const double log_z = table.log_e(k_);
+  check_numeric(log_z != kNegInf,
+                "FeatureKdppOracle: partition function zero");
+  const std::size_t modes = eig.values.size();
+  std::vector<double> w(modes, 0.0);
+  for (std::size_t m = 0; m < modes; ++m) {
+    w[m] = std::exp(std::log(eig.values[m]) +
+                    table.log_e_without(m, k_ - 1) - log_z);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = 0.0;
+    for (std::size_t m = 0; m < modes; ++m) {
+      const double v = eig.vectors(i, m);
+      acc += w[m] * v * v;
+    }
+    p[i] = std::min(acc, 1.0);
+  }
+  return p;
+}
+
+double FeatureKdppOracle::log_joint_marginal(std::span<const int> t) const {
+  const std::size_t tsize = t.size();
+  if (tsize > k_) return kNegInf;
+  if (tsize == 0) return 0.0;
+  // det(L_T) = det(Gram of the T rows of B).
+  Matrix gram_t(tsize, tsize);
+  for (std::size_t a = 0; a < tsize; ++a) {
+    for (std::size_t b = a; b < tsize; ++b) {
+      double acc = 0.0;
+      for (std::size_t c = 0; c < features_.cols(); ++c)
+        acc += features_(static_cast<std::size_t>(t[a]), c) *
+               features_(static_cast<std::size_t>(t[b]), c);
+      gram_t(a, b) = acc;
+      gram_t(b, a) = acc;
+    }
+  }
+  const auto chol = cholesky(gram_t);
+  if (!chol.has_value()) return kNegInf;
+  const double log_det_t = chol->log_det();
+  const double log_z = esp().log_e(k_);
+  if (tsize == k_) return log_det_t - log_z;
+  // Conditioned features; spectrum from the reduced Gram matrix.
+  Matrix conditioned;
+  try {
+    conditioned = condition_features(features_, t);
+  } catch (const NumericalError&) {
+    return kNegInf;
+  }
+  const Matrix gram = conditioned.transpose() * conditioned;
+  auto lambda = symmetric_eigenvalues(gram);
+  double top = 0.0;
+  for (const double v : lambda) top = std::max(top, v);
+  for (double& v : lambda) {
+    if (v < top * 1e-12 * static_cast<double>(lambda.size())) v = 0.0;
+  }
+  const auto log_e = log_esp(lambda, k_ - tsize);
+  const double tail = log_e[k_ - tsize];
+  if (tail == kNegInf) return kNegInf;
+  return log_det_t + tail - log_z;
+}
+
+std::unique_ptr<CountingOracle> FeatureKdppOracle::condition(
+    std::span<const int> t) const {
+  check_arg(t.size() <= k_, "condition: |T| exceeds k");
+  return std::make_unique<FeatureKdppOracle>(condition_features(features_, t),
+                                             k_ - t.size());
+}
+
+std::unique_ptr<CountingOracle> FeatureKdppOracle::clone() const {
+  return std::make_unique<FeatureKdppOracle>(features_, k_);
+}
+
+}  // namespace pardpp

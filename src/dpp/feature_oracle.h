@@ -1,0 +1,51 @@
+// Counting oracle for symmetric k-DPPs in the low-rank (dual) feature
+// representation L = B B^T, B of shape n x d.
+//
+// Every operation stays within O(n d^2 + d^3):
+//   Z           = e_k(nonzero spectrum of B^T B)
+//   P[i ∈ S]    = sum over nonzero modes of the usual ESP weights
+//   P[T ⊆ S]    = det(Gram(B_T)) e_{k-t}(spectrum of conditioned features)
+//   conditioning = feature-space projection (rank drops by |T|).
+// Mirrors SymmetricKdppOracle exactly (the test suite checks agreement);
+// use it when n is large and the kernel is genuinely low-rank — which is
+// every practical data-summarization / recommender deployment.
+#pragma once
+
+#include <optional>
+
+#include "distributions/oracle.h"
+#include "linalg/esp.h"
+#include "linalg/lowrank.h"
+#include "linalg/matrix.h"
+
+namespace pardpp {
+
+class FeatureKdppOracle final : public CountingOracle {
+ public:
+  /// k-DPP with ensemble B B^T. Requires k <= rank(B).
+  FeatureKdppOracle(Matrix features, std::size_t k);
+
+  [[nodiscard]] std::size_t ground_size() const override {
+    return features_.rows();
+  }
+  [[nodiscard]] std::size_t sample_size() const override { return k_; }
+  [[nodiscard]] double log_joint_marginal(std::span<const int> t) const override;
+  [[nodiscard]] std::vector<double> marginals() const override;
+  [[nodiscard]] std::unique_ptr<CountingOracle> condition(
+      std::span<const int> t) const override;
+  [[nodiscard]] std::unique_ptr<CountingOracle> clone() const override;
+  [[nodiscard]] std::string name() const override { return "feature-kdpp"; }
+
+  [[nodiscard]] const Matrix& features() const noexcept { return features_; }
+
+ private:
+  const LowRankEigen& eigen() const;
+  const LogEspTable& esp() const;
+
+  Matrix features_;
+  std::size_t k_;
+  mutable std::optional<LowRankEigen> eigen_;
+  mutable std::optional<LogEspTable> esp_;
+};
+
+}  // namespace pardpp

@@ -1,0 +1,124 @@
+#include "dpp/general_oracle.h"
+
+#include <numeric>
+
+#include "dpp/ensemble.h"
+#include "linalg/schur.h"
+#include "support/logsum.h"
+
+namespace pardpp {
+
+GeneralDppOracle::GeneralDppOracle(Matrix l, std::size_t k, bool validate)
+    : GeneralDppOracle(std::move(l), {}, {static_cast<int>(k)}, validate) {}
+
+GeneralDppOracle::GeneralDppOracle(Matrix l, std::vector<int> part_of,
+                                   std::vector<int> counts, bool validate)
+    : l_(std::move(l)), part_of_(std::move(part_of)), counts_(std::move(counts)) {
+  check_arg(l_.square(), "GeneralDppOracle: matrix not square");
+  if (part_of_.empty()) part_of_.assign(l_.rows(), 0);
+  check_arg(part_of_.size() == l_.rows(),
+            "GeneralDppOracle: partition label size mismatch");
+  check_arg(!counts_.empty(), "GeneralDppOracle: empty count vector");
+  k_ = 0;
+  for (const int c : counts_) {
+    check_arg(c >= 0, "GeneralDppOracle: negative count");
+    k_ += static_cast<std::size_t>(c);
+  }
+  check_arg(k_ <= l_.rows(), "GeneralDppOracle: total count exceeds ground");
+  std::vector<std::size_t> part_sizes(counts_.size(), 0);
+  for (const int p : part_of_) {
+    check_arg(p >= 0 && static_cast<std::size_t>(p) < counts_.size(),
+              "GeneralDppOracle: partition label out of range");
+    ++part_sizes[static_cast<std::size_t>(p)];
+  }
+  for (std::size_t a = 0; a < counts_.size(); ++a) {
+    check_arg(static_cast<std::size_t>(counts_[a]) <= part_sizes[a],
+              "GeneralDppOracle: infeasible partition constraint "
+              "(count exceeds part size)");
+  }
+  if (validate) validate_ensemble(l_, /*symmetric=*/false);
+}
+
+const CharPolyEngine& GeneralDppOracle::engine() const {
+  if (!engine_.has_value()) {
+    engine_ =
+        CharPolyEngine(l_, part_of_, counts_.size(), counts_);
+  }
+  return *engine_;
+}
+
+double GeneralDppOracle::log_partition() const {
+  const auto z = engine().log_count(counts_);
+  check_numeric(z.sign > 0,
+                "GeneralDppOracle: partition function not positive "
+                "(infeasible constraints or degenerate ensemble)");
+  return z.log_abs;
+}
+
+std::vector<int> GeneralDppOracle::batch_part_counts(
+    std::span<const int> t) const {
+  std::vector<int> tc(counts_.size(), 0);
+  for (const int i : t) {
+    check_arg(i >= 0 && static_cast<std::size_t>(i) < ground_size(),
+              "GeneralDppOracle: index out of range");
+    ++tc[static_cast<std::size_t>(part_of_[static_cast<std::size_t>(i)])];
+  }
+  return tc;
+}
+
+double GeneralDppOracle::log_joint_marginal(std::span<const int> t) const {
+  if (t.size() > k_) return kNegInf;
+  if (t.empty()) return 0.0;
+  const auto tc = batch_part_counts(t);
+  std::vector<int> remaining(counts_.size());
+  for (std::size_t a = 0; a < counts_.size(); ++a) {
+    remaining[a] = counts_[a] - tc[a];
+    if (remaining[a] < 0) return kNegInf;  // violates a partition budget
+  }
+  const auto numerator = engine().log_count_superset(t, remaining);
+  if (numerator.sign <= 0) return kNegInf;
+  return numerator.log_abs - log_partition();
+}
+
+std::vector<double> GeneralDppOracle::marginals() const {
+  const std::size_t n = ground_size();
+  std::vector<double> p(n, 0.0);
+  if (k_ == 0) return p;
+  const double log_z = log_partition();
+  const auto numerators = engine().marginal_numerators();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (numerators[i].sign <= 0) continue;
+    p[i] = std::min(std::exp(numerators[i].log_abs - log_z), 1.0);
+  }
+  return p;
+}
+
+std::unique_ptr<CountingOracle> GeneralDppOracle::condition(
+    std::span<const int> t) const {
+  check_arg(t.size() <= k_, "condition: |T| exceeds k");
+  const auto tc = batch_part_counts(t);
+  std::vector<int> new_counts(counts_.size());
+  for (std::size_t a = 0; a < counts_.size(); ++a) {
+    new_counts[a] = counts_[a] - tc[a];
+    check_arg(new_counts[a] >= 0,
+              "condition: batch violates a partition budget");
+  }
+  const auto result = condition_ensemble(l_, t, /*symmetric=*/false);
+  const auto keep = complement_indices(l_.rows(), t);
+  std::vector<int> new_parts;
+  new_parts.reserve(keep.size());
+  for (const int i : keep)
+    new_parts.push_back(part_of_[static_cast<std::size_t>(i)]);
+  return std::make_unique<GeneralDppOracle>(result.reduced,
+                                            std::move(new_parts),
+                                            std::move(new_counts),
+                                            /*validate=*/false);
+}
+
+std::unique_ptr<CountingOracle> GeneralDppOracle::clone() const {
+  auto copy = std::make_unique<GeneralDppOracle>(l_, part_of_, counts_,
+                                                 /*validate=*/false);
+  return copy;
+}
+
+}  // namespace pardpp

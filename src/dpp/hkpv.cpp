@@ -1,0 +1,142 @@
+#include "dpp/hkpv.h"
+
+#include <cmath>
+
+#include "linalg/esp.h"
+#include "linalg/symmetric_eigen.h"
+#include "support/error.h"
+#include "support/logsum.h"
+
+namespace pardpp {
+
+namespace {
+
+// Phase 2 of HKPV: given n x d matrix V with orthonormal columns, sample d
+// items of the projection DPP with kernel V V^T.
+std::vector<int> sample_projection_dpp(Matrix v, RandomStream& rng) {
+  const std::size_t n = v.rows();
+  std::size_t d = v.cols();
+  std::vector<int> items;
+  items.reserve(d);
+  std::vector<double> weights(n);
+  while (d > 0) {
+    // P[item i] = |row_i|^2 / d.
+    for (std::size_t i = 0; i < n; ++i) {
+      double acc = 0.0;
+      for (std::size_t j = 0; j < d; ++j) acc += v(i, j) * v(i, j);
+      weights[i] = acc;
+    }
+    const auto pick = rng.categorical(weights);
+    items.push_back(static_cast<int>(pick));
+    if (d == 1) break;
+    // Eliminate the coordinate `pick`: pivot on the column with the
+    // largest |V(pick, j)|, fold it into the others, drop it, and
+    // re-orthonormalize (modified Gram-Schmidt) for stability.
+    std::size_t pivot = 0;
+    double best = 0.0;
+    for (std::size_t j = 0; j < d; ++j) {
+      const double mag = std::abs(v(pick, j));
+      if (mag > best) {
+        best = mag;
+        pivot = j;
+      }
+    }
+    check_numeric(best > 1e-14, "hkpv: degenerate projection step");
+    for (std::size_t j = 0; j < d; ++j) {
+      if (j == pivot) continue;
+      const double factor = v(pick, j) / v(pick, pivot);
+      for (std::size_t i = 0; i < n; ++i) v(i, j) -= factor * v(i, pivot);
+    }
+    // Drop the pivot column by moving the last column into its slot.
+    if (pivot != d - 1) {
+      for (std::size_t i = 0; i < n; ++i) v(i, pivot) = v(i, d - 1);
+    }
+    --d;
+    // Re-orthonormalize the first d columns.
+    for (std::size_t j = 0; j < d; ++j) {
+      for (std::size_t prev = 0; prev < j; ++prev) {
+        double dot = 0.0;
+        for (std::size_t i = 0; i < n; ++i) dot += v(i, j) * v(i, prev);
+        for (std::size_t i = 0; i < n; ++i) v(i, j) -= dot * v(i, prev);
+      }
+      double norm = 0.0;
+      for (std::size_t i = 0; i < n; ++i) norm += v(i, j) * v(i, j);
+      norm = std::sqrt(norm);
+      check_numeric(norm > 1e-14, "hkpv: collapsed column during projection");
+      for (std::size_t i = 0; i < n; ++i) v(i, j) /= norm;
+    }
+  }
+  return items;
+}
+
+Matrix gather_columns(const Matrix& v, const std::vector<std::size_t>& cols) {
+  Matrix out(v.rows(), cols.size());
+  for (std::size_t j = 0; j < cols.size(); ++j)
+    for (std::size_t i = 0; i < v.rows(); ++i) out(i, j) = v(i, cols[j]);
+  return out;
+}
+
+}  // namespace
+
+std::vector<int> hkpv_sample_dpp(const Matrix& l, RandomStream& rng) {
+  check_arg(l.is_symmetric(1e-8), "hkpv_sample_dpp: matrix not symmetric");
+  const auto eig = symmetric_eigen(l);
+  std::vector<std::size_t> selected;
+  for (std::size_t m = 0; m < eig.values.size(); ++m) {
+    const double lambda = std::max(eig.values[m], 0.0);
+    if (rng.bernoulli(lambda / (1.0 + lambda))) selected.push_back(m);
+  }
+  if (selected.empty()) return {};
+  return sample_projection_dpp(gather_columns(eig.vectors, selected), rng);
+}
+
+std::vector<int> hkpv_sample_kdpp(const Matrix& l, std::size_t k,
+                                  RandomStream& rng) {
+  check_arg(l.is_symmetric(1e-8), "hkpv_sample_kdpp: matrix not symmetric");
+  const std::size_t n = l.rows();
+  check_arg(k <= n, "hkpv_sample_kdpp: k exceeds ground size");
+  if (k == 0) return {};
+  const auto eig = symmetric_eigen(l);
+  // Select a k-subset of eigenvectors with probability prod lambda / e_k:
+  // walk m = n..1 including m with probability
+  // lambda_m e_{r-1}(lambda_{<m}) / e_r(lambda_{<=m}).
+  const LogEspTable table(eig.values, k);
+  check_numeric(table.log_e(k) != kNegInf,
+                "hkpv_sample_kdpp: e_k = 0 (rank below k)");
+  std::vector<std::size_t> selected;
+  std::size_t r = k;
+  // prefix esp over lambda_{0..m-1} is exactly LogEspTable's prefix; we
+  // recompute the needed values with local tables to stay within the
+  // public esp API.
+  std::vector<std::vector<double>> prefix(n + 1);
+  prefix[0].assign(k + 1, kNegInf);
+  prefix[0][0] = 0.0;
+  for (std::size_t m = 0; m < n; ++m) {
+    prefix[m + 1] = prefix[m];
+    const double lambda = std::max(eig.values[m], 0.0);
+    if (lambda > 0.0) {
+      const double log_l = std::log(lambda);
+      for (std::size_t j = k; j >= 1; --j) {
+        prefix[m + 1][j] =
+            log_add(prefix[m + 1][j], log_l + prefix[m + 1][j - 1]);
+      }
+    }
+  }
+  for (std::size_t m = n; m-- > 0 && r > 0;) {
+    const double lambda = std::max(eig.values[m], 0.0);
+    if (m + 1 < r) break;  // cannot happen with e_k > 0; defensive
+    double log_p = kNegInf;
+    if (lambda > 0.0 && prefix[m][r - 1] != kNegInf) {
+      log_p = std::log(lambda) + prefix[m][r - 1] - prefix[m + 1][r];
+    }
+    if (m == r - 1 || rng.bernoulli(std::exp(std::min(log_p, 0.0)))) {
+      // When only r eigenvalues remain they must all be selected.
+      selected.push_back(m);
+      --r;
+    }
+  }
+  check_numeric(r == 0, "hkpv_sample_kdpp: eigenvector selection failed");
+  return sample_projection_dpp(gather_columns(eig.vectors, selected), rng);
+}
+
+}  // namespace pardpp

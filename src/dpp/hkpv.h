@@ -1,0 +1,28 @@
+// HKPV spectral sampler (Hough–Krishnapur–Peres–Virág) for symmetric DPPs.
+//
+// The classical *sequential* exact sampler: eigendecompose L, select an
+// elementary DPP (each eigenvector independently with probability
+// lambda/(1+lambda) for the unconstrained DPP; a k-subset weighted by
+// products of eigenvalues for the k-DPP), then draw points one at a time
+// while projecting the selected eigenvectors. Depth Theta(k) — this is the
+// baseline the paper's parallel samplers are measured against, and the
+// test suite's ground-truth sampler.
+#pragma once
+
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "support/random.h"
+
+namespace pardpp {
+
+/// Exact sample from the unconstrained symmetric DPP with ensemble L.
+[[nodiscard]] std::vector<int> hkpv_sample_dpp(const Matrix& l,
+                                               RandomStream& rng);
+
+/// Exact sample from the symmetric k-DPP with ensemble L.
+[[nodiscard]] std::vector<int> hkpv_sample_kdpp(const Matrix& l,
+                                                std::size_t k,
+                                                RandomStream& rng);
+
+}  // namespace pardpp

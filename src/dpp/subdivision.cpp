@@ -1,0 +1,119 @@
+#include "dpp/subdivision.h"
+
+#include <cmath>
+
+#include "support/logsum.h"
+
+namespace pardpp {
+
+SubdividedOracle::SubdividedOracle(std::unique_ptr<CountingOracle> base,
+                                   double beta)
+    : base_(std::move(base)), beta_(beta) {
+  check_arg(base_ != nullptr, "SubdividedOracle: null base");
+  check_arg(beta_ > 0.0 && beta_ <= 1.0, "SubdividedOracle: beta in (0,1]");
+  base_marginals_ = base_->marginals();
+  const auto n = static_cast<double>(base_->ground_size());
+  const auto k = static_cast<double>(base_->sample_size());
+  copies_.resize(base_->ground_size());
+  for (std::size_t i = 0; i < copies_.size(); ++i) {
+    // t_i = ceil(n p_i / (beta k)), at least one copy per element.
+    const double t = k > 0.0
+                         ? std::ceil(n * base_marginals_[i] / (beta_ * k))
+                         : 1.0;
+    copies_[i] = std::max(1, static_cast<int>(t));
+    for (int c = 0; c < copies_[i]; ++c)
+      origin_.push_back(static_cast<int>(i));
+  }
+}
+
+double SubdividedOracle::log_joint_marginal(std::span<const int> t) const {
+  if (t.size() > sample_size()) return kNegInf;
+  if (t.empty()) return 0.0;
+  std::vector<int> originals;
+  originals.reserve(t.size());
+  double log_copy_factor = 0.0;
+  for (const int c : t) {
+    check_arg(c >= 0 && static_cast<std::size_t>(c) < origin_.size(),
+              "SubdividedOracle: copy index out of range");
+    const int base_idx = origin_[static_cast<std::size_t>(c)];
+    if (base_idx < 0) return kNegInf;  // dead copy
+    for (const int other : originals) {
+      if (other == base_idx) return kNegInf;  // two copies of one original
+    }
+    originals.push_back(base_idx);
+    log_copy_factor -=
+        std::log(static_cast<double>(copies_[static_cast<std::size_t>(base_idx)]));
+  }
+  return base_->log_joint_marginal(originals) + log_copy_factor;
+}
+
+std::vector<double> SubdividedOracle::marginals() const {
+  std::vector<double> p(origin_.size(), 0.0);
+  for (std::size_t c = 0; c < origin_.size(); ++c) {
+    const int base_idx = origin_[c];
+    if (base_idx < 0) continue;
+    p[c] = base_marginals_[static_cast<std::size_t>(base_idx)] /
+           static_cast<double>(copies_[static_cast<std::size_t>(base_idx)]);
+  }
+  return p;
+}
+
+std::unique_ptr<CountingOracle> SubdividedOracle::condition(
+    std::span<const int> t) const {
+  // Condition the base on the distinct originals behind T, drop the
+  // conditioned copies from the ground set, and mark sibling copies dead.
+  std::vector<int> originals;
+  for (const int c : t) {
+    check_arg(c >= 0 && static_cast<std::size_t>(c) < origin_.size(),
+              "SubdividedOracle: copy index out of range");
+    const int base_idx = origin_[static_cast<std::size_t>(c)];
+    check_arg(base_idx >= 0, "SubdividedOracle: conditioning on a dead copy");
+    for (const int other : originals)
+      check_arg(other != base_idx,
+                "SubdividedOracle: conditioning on two copies of one element");
+    originals.push_back(base_idx);
+  }
+  auto out = std::unique_ptr<SubdividedOracle>(new SubdividedOracle());
+  out->base_ = base_->condition(originals);
+  out->beta_ = beta_;
+  out->base_marginals_ = out->base_->marginals();
+
+  // Base re-indexing: originals removed, order preserved.
+  std::vector<int> base_remap(base_->ground_size(), -1);
+  {
+    std::vector<bool> removed(base_->ground_size(), false);
+    for (const int b : originals) removed[static_cast<std::size_t>(b)] = true;
+    int next = 0;
+    for (std::size_t b = 0; b < base_remap.size(); ++b) {
+      if (!removed[b]) base_remap[b] = next++;
+    }
+  }
+  std::vector<bool> drop_copy(origin_.size(), false);
+  for (const int c : t) drop_copy[static_cast<std::size_t>(c)] = true;
+
+  out->copies_.assign(out->base_->ground_size(), 0);
+  out->origin_.clear();
+  for (std::size_t c = 0; c < origin_.size(); ++c) {
+    if (drop_copy[c]) continue;  // removed from the ground set
+    const int base_idx = origin_[c];
+    const int mapped = base_idx >= 0 ? base_remap[static_cast<std::size_t>(base_idx)] : -1;
+    out->origin_.push_back(mapped);
+    if (mapped >= 0) ++out->copies_[static_cast<std::size_t>(mapped)];
+  }
+  // Elements whose copies all died keep copies_ = 0; they never appear as
+  // origins so the zero count is never dereferenced.
+  for (auto& c : out->copies_) c = std::max(c, 1);
+  return out;
+}
+
+std::unique_ptr<CountingOracle> SubdividedOracle::clone() const {
+  auto out = std::unique_ptr<SubdividedOracle>(new SubdividedOracle());
+  out->base_ = base_->clone();
+  out->beta_ = beta_;
+  out->origin_ = origin_;
+  out->copies_ = copies_;
+  out->base_marginals_ = base_marginals_;
+  return out;
+}
+
+}  // namespace pardpp

@@ -1,0 +1,116 @@
+#include "dpp/symmetric_oracle.h"
+
+#include <cmath>
+
+#include "dpp/ensemble.h"
+#include "linalg/cholesky.h"
+#include "linalg/schur.h"
+#include "support/combinatorics.h"
+#include "support/logsum.h"
+
+namespace pardpp {
+
+namespace {
+// Clamps roundoff-level eigenvalues to exact zeros.
+void clamp_spectrum(std::vector<double>& lambda) {
+  double top = 0.0;
+  for (const double v : lambda) top = std::max(top, v);
+  const double floor = top * 1e-12 * static_cast<double>(lambda.size());
+  for (double& v : lambda) {
+    if (v < floor) v = 0.0;
+  }
+}
+}  // namespace
+
+SymmetricKdppOracle::SymmetricKdppOracle(Matrix l, std::size_t k,
+                                         bool validate)
+    : l_(std::move(l)), k_(k) {
+  check_arg(l_.square(), "SymmetricKdppOracle: matrix not square");
+  check_arg(k_ <= l_.rows(), "SymmetricKdppOracle: k exceeds ground size");
+  if (validate) validate_ensemble(l_, /*symmetric=*/true);
+}
+
+const SymmetricEigen& SymmetricKdppOracle::eigen() const {
+  if (!eigen_.has_value()) eigen_ = symmetric_eigen(l_);
+  return *eigen_;
+}
+
+const LogEspTable& SymmetricKdppOracle::esp() const {
+  if (!esp_.has_value()) {
+    // Clamp roundoff-level eigenvalues to exact zeros so rank deficiency
+    // is detected (e_k of a rank-r spectrum must vanish for k > r).
+    std::vector<double> lambda = eigen().values;
+    clamp_spectrum(lambda);
+    esp_ = LogEspTable(lambda, k_);
+  }
+  return *esp_;
+}
+
+double SymmetricKdppOracle::log_partition() const { return esp().log_e(k_); }
+
+std::vector<double> SymmetricKdppOracle::marginals() const {
+  const std::size_t n = ground_size();
+  std::vector<double> p(n, 0.0);
+  if (k_ == 0 || n == 0) return p;
+  const auto& eig = eigen();
+  const auto& table = esp();
+  const double log_z = table.log_e(k_);
+  check_numeric(log_z != kNegInf,
+                "SymmetricKdppOracle: partition function is zero "
+                "(rank of L below k)");
+  // p_i = sum_m w_m V_im^2 with w_m = lambda_m e_{k-1}(lambda \ m) / e_k.
+  // The weights are probabilities of eigenvector selection (they sum to
+  // k), so the accumulation is safe in linear domain.
+  std::vector<double> w(n, 0.0);
+  for (std::size_t m = 0; m < n; ++m) {
+    const double lambda = eig.values[m];
+    if (lambda <= 0.0) continue;
+    const double log_w =
+        std::log(lambda) + table.log_e_without(m, k_ - 1) - log_z;
+    w[m] = std::exp(log_w);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = 0.0;
+    for (std::size_t m = 0; m < n; ++m) {
+      const double v = eig.vectors(i, m);
+      acc += w[m] * v * v;
+    }
+    p[i] = std::min(acc, 1.0);
+  }
+  return p;
+}
+
+double SymmetricKdppOracle::log_joint_marginal(std::span<const int> t) const {
+  const std::size_t tsize = t.size();
+  if (tsize > k_) return kNegInf;
+  if (tsize == 0) return 0.0;
+  // det(L_T): zero (or numerically non-PD) blocks mean P[T ⊆ S] = 0.
+  const Matrix lt = l_.principal(t);
+  const auto chol_t = cholesky(lt);
+  if (!chol_t.has_value()) return kNegInf;
+  const double log_det_t = chol_t->log_det();
+  if (tsize == k_) return log_det_t - log_partition();
+  // e_{k-t} of the conditional ensemble's spectrum.
+  const auto keep = complement_indices(l_.rows(), t);
+  const auto schur = schur_complement(l_, keep, t, /*symmetric=*/true);
+  auto lambda = symmetric_eigenvalues(schur.reduced);
+  clamp_spectrum(lambda);
+  const auto log_e = log_esp(lambda, k_ - tsize);
+  const double tail = log_e[k_ - tsize];
+  if (tail == kNegInf) return kNegInf;
+  return log_det_t + tail - log_partition();
+}
+
+std::unique_ptr<CountingOracle> SymmetricKdppOracle::condition(
+    std::span<const int> t) const {
+  check_arg(t.size() <= k_, "condition: |T| exceeds k");
+  const auto result = condition_ensemble(l_, t, /*symmetric=*/true);
+  return std::make_unique<SymmetricKdppOracle>(result.reduced, k_ - t.size(),
+                                               /*validate=*/false);
+}
+
+std::unique_ptr<CountingOracle> SymmetricKdppOracle::clone() const {
+  return std::make_unique<SymmetricKdppOracle>(l_, k_, /*validate=*/false);
+}
+
+}  // namespace pardpp

@@ -1,0 +1,55 @@
+// Counting oracle for symmetric k-DPPs (Definition 3 + Definition 6).
+//
+// For symmetric PSD L with spectrum lambda and eigenbasis V:
+//   Z            = e_k(lambda)
+//   P[i ∈ S]     = sum_m lambda_m V_im^2 e_{k-1}(lambda \ m) / e_k(lambda)
+//   P[T ⊆ S]     = det(L_T) e_{k-t}(spectrum of L^T) / e_k(lambda)
+// where L^T is the Schur-complement conditional ensemble (paper §3.2).
+// Elementary symmetric polynomials are evaluated in log domain (esp.h);
+// eigen decompositions are cached lazily per conditional state.
+#pragma once
+
+#include <optional>
+
+#include "distributions/oracle.h"
+#include "linalg/esp.h"
+#include "linalg/matrix.h"
+#include "linalg/symmetric_eigen.h"
+
+namespace pardpp {
+
+class SymmetricKdppOracle final : public CountingOracle {
+ public:
+  /// Wraps the k-DPP with ensemble matrix `l` (symmetric PSD). With
+  /// `validate` the matrix is checked for symmetry and PSD-ness; internal
+  /// conditioning steps skip the check.
+  SymmetricKdppOracle(Matrix l, std::size_t k, bool validate = true);
+
+  [[nodiscard]] std::size_t ground_size() const override { return l_.rows(); }
+  [[nodiscard]] std::size_t sample_size() const override { return k_; }
+  [[nodiscard]] double log_joint_marginal(std::span<const int> t) const override;
+  [[nodiscard]] std::vector<double> marginals() const override;
+  [[nodiscard]] std::unique_ptr<CountingOracle> condition(
+      std::span<const int> t) const override;
+  [[nodiscard]] std::unique_ptr<CountingOracle> clone() const override;
+  [[nodiscard]] std::string name() const override {
+    return "symmetric-kdpp";
+  }
+
+  /// The (conditional) ensemble matrix.
+  [[nodiscard]] const Matrix& ensemble() const noexcept { return l_; }
+
+  /// log Z = log e_k(lambda).
+  [[nodiscard]] double log_partition() const;
+
+ private:
+  const SymmetricEigen& eigen() const;
+  const LogEspTable& esp() const;
+
+  Matrix l_;
+  std::size_t k_;
+  mutable std::optional<SymmetricEigen> eigen_;
+  mutable std::optional<LogEspTable> esp_;
+};
+
+}  // namespace pardpp

@@ -1,0 +1,141 @@
+#include "linalg/charpoly.h"
+
+#include <cmath>
+#include <complex>
+#include <numbers>
+
+#include "linalg/lu.h"
+#include "support/error.h"
+
+namespace pardpp {
+
+namespace {
+
+// tr(rho M (I + rho M)^{-1}) = n - tr((I + rho M)^{-1}), the derivative of
+// log det(I + zM) with respect to log z at z = rho ("expected size" of the
+// DPP with rescaled ensemble rho M).
+double expected_size(const Matrix& m, double rho) {
+  const std::size_t n = m.rows();
+  Matrix a = m * rho;
+  for (std::size_t i = 0; i < n; ++i) a(i, i) += 1.0;
+  const auto lu = lu_factor(a);
+  if (lu.singular()) return static_cast<double>(n);
+  const Matrix inv = lu.inverse();
+  double tr = 0.0;
+  for (std::size_t i = 0; i < n; ++i) tr += inv(i, i);
+  return static_cast<double>(n) - tr;
+}
+
+}  // namespace
+
+double saddle_point_radius(const Matrix& m, double target_size) {
+  check_arg(m.square(), "saddle_point_radius: matrix not square");
+  const auto n = static_cast<double>(m.rows());
+  if (m.max_abs() == 0.0 || target_size <= 0.0) return 1.0;
+  if (target_size >= n) target_size = n - 0.5;
+  // Log-bisection on the monotone map rho -> expected_size(rho).
+  double lo = 1e-9;
+  double hi = 1e9;
+  if (expected_size(m, lo) >= target_size) return lo;
+  if (expected_size(m, hi) <= target_size) return hi;
+  for (int iter = 0; iter < 48; ++iter) {
+    const double mid = std::sqrt(lo * hi);
+    if (expected_size(m, mid) < target_size) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+    if (hi / lo < 1.0 + 1e-6) break;
+  }
+  return std::sqrt(lo * hi);
+}
+
+std::vector<LogCoefficient> charpoly_log_coeffs(const Matrix& m,
+                                                std::size_t jmax,
+                                                double radius) {
+  check_arg(m.square(), "charpoly_log_coeffs: matrix not square");
+  const std::size_t n = m.rows();
+  jmax = std::min(jmax, n);
+  if (radius <= 0.0) radius = saddle_point_radius(m, static_cast<double>(jmax));
+  const std::size_t num_nodes = n + 1;
+  const CMatrix mc = to_complex(m);
+
+  // Evaluate log det(I + z_t M) at the circle nodes.
+  std::vector<double> log_abs(num_nodes);
+  std::vector<std::complex<double>> phase(num_nodes);
+  const double tau = 2.0 * std::numbers::pi / static_cast<double>(num_nodes);
+#pragma omp parallel for schedule(dynamic)
+  for (std::size_t t = 0; t < num_nodes; ++t) {
+    const std::complex<double> z =
+        radius * std::polar(1.0, tau * static_cast<double>(t));
+    CMatrix a = mc * z;
+    for (std::size_t i = 0; i < n; ++i) a(i, i) += 1.0;
+    const auto lu = lu_factor(std::move(a));
+    const auto det = lu.log_det();
+    log_abs[t] = det.log_abs;
+    phase[t] = det.phase;
+  }
+
+  // Common-scale inverse DFT: c_j * rho^j = (1/N) sum_t v_t w^{-jt}.
+  double scale = kNegInf;
+  for (const double v : log_abs) scale = std::max(scale, v);
+  if (scale == kNegInf) {
+    // det vanished at every node: all coefficients are zero except none.
+    return std::vector<LogCoefficient>(jmax + 1);
+  }
+  std::vector<std::complex<double>> values(num_nodes);
+  double max_mag = 0.0;
+  for (std::size_t t = 0; t < num_nodes; ++t) {
+    values[t] = phase[t] * std::exp(log_abs[t] - scale);
+    max_mag = std::max(max_mag, std::abs(values[t]));
+  }
+  const double noise_floor =
+      max_mag * 1e-11 * std::sqrt(static_cast<double>(num_nodes));
+
+  std::vector<LogCoefficient> coeffs(jmax + 1);
+  for (std::size_t j = 0; j <= jmax; ++j) {
+    std::complex<double> acc(0.0, 0.0);
+    for (std::size_t t = 0; t < num_nodes; ++t) {
+      const double angle = -tau * static_cast<double>(j * t % num_nodes);
+      acc += values[t] * std::polar(1.0, angle);
+    }
+    acc /= static_cast<double>(num_nodes);
+    const double mag = std::abs(acc.real());
+    if (mag <= noise_floor) {
+      coeffs[j] = LogCoefficient{kNegInf, 0};
+    } else {
+      coeffs[j] = LogCoefficient{
+          std::log(mag) + scale - static_cast<double>(j) * std::log(radius),
+          acc.real() > 0.0 ? 1 : -1};
+    }
+  }
+  return coeffs;
+}
+
+std::vector<double> charpoly_newton(const Matrix& m, std::size_t jmax) {
+  check_arg(m.square(), "charpoly_newton: matrix not square");
+  const std::size_t n = m.rows();
+  jmax = std::min(jmax, n);
+  // Power sums p_r = tr(M^r), r = 1..jmax.
+  std::vector<double> power_sums(jmax + 1, 0.0);
+  Matrix mp = Matrix::identity(n);
+  for (std::size_t r = 1; r <= jmax; ++r) {
+    mp = mp * m;
+    power_sums[r] = mp.trace();
+  }
+  // Newton's identities: j e_j = sum_{r=1..j} (-1)^{r-1} e_{j-r} p_r.
+  std::vector<double> e(jmax + 1, 0.0);
+  e[0] = 1.0;
+  for (std::size_t j = 1; j <= jmax; ++j) {
+    double acc = 0.0;
+    double sign = 1.0;
+    for (std::size_t r = 1; r <= j; ++r) {
+      acc += sign * e[j - r] * power_sums[r];
+      sign = -sign;
+    }
+    e[j] = acc / static_cast<double>(j);
+  }
+  return e;
+}
+
+}  // namespace pardpp

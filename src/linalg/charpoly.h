@@ -1,0 +1,50 @@
+// Coefficients of det(I + z M) — sums of principal minors.
+//
+// For a (possibly nonsymmetric) ensemble matrix M, the coefficient of z^j
+// in det(I + zM) equals e_j(M) = sum of j x j principal minors, which is
+// the k-DPP partition function for j = k. The paper (Prop. 13) computes
+// these by polynomial interpolation / Vandermonde solves; we use the
+// numerically well-conditioned variant: evaluation at N = n+1 points on a
+// circle of radius rho (condition number 1; the Vandermonde solve becomes
+// an inverse DFT), with rho chosen by a saddle-point rule so the target
+// coefficient is not drowned by the dominant ones.
+//
+// This header provides standalone extraction (used for validation and the
+// unconstrained cardinality distribution); the cached, conditioning-aware
+// engine that powers the general counting oracle lives in
+// dpp/charpoly_engine.h.
+#pragma once
+
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "support/logsum.h"
+
+namespace pardpp {
+
+/// A real coefficient stored as sign * exp(log_abs).
+struct LogCoefficient {
+  double log_abs = kNegInf;
+  int sign = 0;  ///< -1, 0, +1
+};
+
+/// Chooses the interpolation radius rho such that the "expected size"
+/// tr(rho M (I + rho M)^{-1}) is approximately `target_size` — the saddle
+/// point of the coefficient-extraction integrand for coefficient
+/// `target_size`. Falls back to 1.0 when M vanishes.
+[[nodiscard]] double saddle_point_radius(const Matrix& m, double target_size);
+
+/// Coefficients of det(I + zM) for j = 0..jmax via circle interpolation.
+/// `radius` <= 0 selects the saddle-point radius for coefficient jmax.
+/// Coefficients whose magnitude falls below the interpolation noise floor
+/// are reported as exact zeros (sign 0).
+[[nodiscard]] std::vector<LogCoefficient> charpoly_log_coeffs(
+    const Matrix& m, std::size_t jmax, double radius = 0.0);
+
+/// Newton-identity computation of e_1..e_jmax from power sums tr(M^p).
+/// O(n^3 jmax) and numerically fragile for large n — retained as an
+/// algorithmically independent cross-check for the test suite.
+[[nodiscard]] std::vector<double> charpoly_newton(const Matrix& m,
+                                                  std::size_t jmax);
+
+}  // namespace pardpp

@@ -1,0 +1,119 @@
+// Cholesky (L L^T) factorization for symmetric positive (semi)definite
+// matrices, plus PSD validation helpers.
+//
+// The symmetric DPP code paths use Cholesky both as the fast determinant /
+// solve backend and as the arbiter of "is this kernel actually PSD"
+// (failure injection tests rely on the strictness of that check).
+#pragma once
+
+#include <cmath>
+#include <optional>
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "support/error.h"
+#include "support/logsum.h"
+
+namespace pardpp {
+
+/// Lower-triangular Cholesky factor with solve/determinant helpers.
+class CholeskyDecomposition {
+ public:
+  explicit CholeskyDecomposition(Matrix lower) : lower_(std::move(lower)) {}
+
+  [[nodiscard]] std::size_t size() const noexcept { return lower_.rows(); }
+  [[nodiscard]] const Matrix& lower() const noexcept { return lower_; }
+
+  /// log det A = 2 * sum log diag(L).
+  [[nodiscard]] double log_det() const {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < size(); ++i) acc += std::log(lower_(i, i));
+    return 2.0 * acc;
+  }
+
+  /// Solves A x = b.
+  [[nodiscard]] std::vector<double> solve(std::vector<double> b) const {
+    check_arg(b.size() == size(), "cholesky solve: size mismatch");
+    const std::size_t n = size();
+    for (std::size_t i = 0; i < n; ++i) {
+      double acc = b[i];
+      for (std::size_t j = 0; j < i; ++j) acc -= lower_(i, j) * b[j];
+      b[i] = acc / lower_(i, i);
+    }
+    for (std::size_t ii = n; ii-- > 0;) {
+      double acc = b[ii];
+      for (std::size_t j = ii + 1; j < n; ++j) acc -= lower_(j, ii) * b[j];
+      b[ii] = acc / lower_(ii, ii);
+    }
+    return b;
+  }
+
+  /// Solves A X = B.
+  [[nodiscard]] Matrix solve_matrix(const Matrix& b) const {
+    Matrix x(b.rows(), b.cols());
+    std::vector<double> col(b.rows());
+    for (std::size_t j = 0; j < b.cols(); ++j) {
+      for (std::size_t i = 0; i < b.rows(); ++i) col[i] = b(i, j);
+      col = solve(std::move(col));
+      for (std::size_t i = 0; i < b.rows(); ++i) x(i, j) = col[i];
+    }
+    return x;
+  }
+
+ private:
+  Matrix lower_;
+};
+
+/// Attempts a Cholesky factorization; returns nullopt when the matrix is
+/// not positive definite beyond `tol` (relative to the largest diagonal).
+[[nodiscard]] inline std::optional<CholeskyDecomposition> cholesky(
+    const Matrix& a, double tol = 1e-12) {
+  check_arg(a.square(), "cholesky: matrix not square");
+  const std::size_t n = a.rows();
+  double max_diag = 0.0;
+  for (std::size_t i = 0; i < n; ++i)
+    max_diag = std::max(max_diag, std::abs(a(i, i)));
+  const double threshold = std::max(tol * max_diag, 1e-300);
+  Matrix lower(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    double diag = a(j, j);
+    for (std::size_t k = 0; k < j; ++k) diag -= lower(j, k) * lower(j, k);
+    if (diag <= threshold) return std::nullopt;
+    const double ljj = std::sqrt(diag);
+    lower(j, j) = ljj;
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double acc = a(i, j);
+      for (std::size_t k = 0; k < j; ++k) acc -= lower(i, k) * lower(j, k);
+      lower(i, j) = acc / ljj;
+    }
+  }
+  return CholeskyDecomposition(std::move(lower));
+}
+
+/// Cholesky that throws NumericalError on non-PD input.
+[[nodiscard]] inline CholeskyDecomposition cholesky_or_throw(const Matrix& a,
+                                                             double tol = 1e-12) {
+  auto result = cholesky(a, tol);
+  check_numeric(result.has_value(), "cholesky: matrix not positive definite");
+  return std::move(*result);
+}
+
+/// True when the symmetric matrix is PSD up to `jitter` on the diagonal.
+/// (A + jitter*I must be positive definite.)
+[[nodiscard]] inline bool is_psd(const Matrix& a, double jitter = 1e-9) {
+  if (!a.square() || !a.is_symmetric(1e-8)) return false;
+  Matrix shifted = a;
+  double scale = a.max_abs();
+  if (scale == 0.0) scale = 1.0;
+  for (std::size_t i = 0; i < a.rows(); ++i) shifted(i, i) += jitter * scale;
+  return cholesky(shifted).has_value();
+}
+
+/// True when L + L^T is PSD, i.e. L is nonsymmetric positive semidefinite
+/// in the sense of Definition 4 of the paper.
+[[nodiscard]] inline bool is_npsd(const Matrix& l, double jitter = 1e-9) {
+  if (!l.square()) return false;
+  return is_psd(l.symmetric_part(), jitter);
+}
+
+}  // namespace pardpp

@@ -1,0 +1,49 @@
+// Elementary symmetric polynomials of nonnegative spectra, in log domain.
+//
+// For a symmetric PSD ensemble matrix L with eigenvalues lambda, the k-DPP
+// partition function is e_k(lambda) and joint/singleton marginals reduce to
+// ratios of e_j's, including "leave-one-out" values e_j(lambda \ m). These
+// quantities overflow double at tiny problem sizes, so everything here is
+// carried as logarithms and combined with log_add.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "support/logsum.h"
+
+namespace pardpp {
+
+/// Returns {log e_0, ..., log e_jmax} of the nonnegative values `lambda`
+/// (negative inputs are clamped to zero — they only arise as roundoff on
+/// PSD spectra). e_0 = 1 by convention.
+[[nodiscard]] std::vector<double> log_esp(std::span<const double> lambda,
+                                          std::size_t jmax);
+
+/// Prefix/suffix table of log elementary symmetric polynomials supporting
+/// leave-one-out queries, the standard device behind k-DPP marginals:
+/// P[i in S] = sum_m lambda_m V_im^2 e_{k-1}(lambda \ m) / e_k(lambda).
+class LogEspTable {
+ public:
+  /// Builds the table for queries with j <= jmax.
+  LogEspTable(std::span<const double> lambda, std::size_t jmax);
+
+  [[nodiscard]] std::size_t size() const noexcept { return n_; }
+  [[nodiscard]] std::size_t jmax() const noexcept { return jmax_; }
+
+  /// log e_j over the full value set.
+  [[nodiscard]] double log_e(std::size_t j) const;
+
+  /// log e_j(lambda \ {m}).
+  [[nodiscard]] double log_e_without(std::size_t m, std::size_t j) const;
+
+ private:
+  std::size_t n_;
+  std::size_t jmax_;
+  // prefix_[m] = log esp of lambda[0..m) (row length jmax+1);
+  // suffix_[m] = log esp of lambda[m..n).
+  std::vector<std::vector<double>> prefix_;
+  std::vector<std::vector<double>> suffix_;
+};
+
+}  // namespace pardpp

@@ -1,0 +1,110 @@
+#include "linalg/lowrank.h"
+
+#include <cmath>
+
+#include "linalg/schur.h"
+#include "linalg/symmetric_eigen.h"
+#include "support/error.h"
+
+namespace pardpp {
+
+LowRankEigen eigen_from_features(const Matrix& b, double rank_tol) {
+  const std::size_t n = b.rows();
+  const std::size_t d = b.cols();
+  const Matrix gram = b.transpose() * b;  // d x d
+  const auto eig = symmetric_eigen(gram);
+  double top = 0.0;
+  for (const double v : eig.values) top = std::max(top, v);
+  const double floor = std::max(top * rank_tol, 1e-300);
+  LowRankEigen out;
+  std::vector<std::size_t> keep;
+  for (std::size_t m = 0; m < d; ++m) {
+    if (eig.values[m] > floor) {
+      keep.push_back(m);
+      out.values.push_back(eig.values[m]);
+    }
+  }
+  // U = B V diag(lambda)^{-1/2}: orthonormal because
+  // U^T U = diag(l)^{-1/2} V^T (B^T B) V diag(l)^{-1/2} = I.
+  out.vectors = Matrix(n, keep.size());
+  for (std::size_t j = 0; j < keep.size(); ++j) {
+    const double inv_sqrt = 1.0 / std::sqrt(out.values[j]);
+    for (std::size_t i = 0; i < n; ++i) {
+      double acc = 0.0;
+      for (std::size_t c = 0; c < d; ++c)
+        acc += b(i, c) * eig.vectors(c, keep[j]);
+      out.vectors(i, j) = acc * inv_sqrt;
+    }
+  }
+  return out;
+}
+
+Matrix condition_features(const Matrix& b, std::span<const int> t) {
+  const std::size_t d = b.cols();
+  check_arg(t.size() <= d, "condition_features: |T| exceeds the rank");
+  if (t.empty()) return b;
+  // Orthonormal basis Q (d x t) of span{B_T rows} by modified
+  // Gram-Schmidt; failure to normalize means det(L_TT) = 0.
+  Matrix q(d, t.size());
+  for (std::size_t j = 0; j < t.size(); ++j) {
+    const auto row = static_cast<std::size_t>(t[j]);
+    check_arg(row < b.rows(), "condition_features: index out of range");
+    for (std::size_t c = 0; c < d; ++c) q(c, j) = b(row, c);
+    for (int pass = 0; pass < 2; ++pass) {
+      for (std::size_t prev = 0; prev < j; ++prev) {
+        double dot = 0.0;
+        for (std::size_t c = 0; c < d; ++c) dot += q(c, j) * q(c, prev);
+        for (std::size_t c = 0; c < d; ++c) q(c, j) -= dot * q(c, prev);
+      }
+    }
+    double norm = 0.0;
+    for (std::size_t c = 0; c < d; ++c) norm += q(c, j) * q(c, j);
+    norm = std::sqrt(norm);
+    check_numeric(norm > 1e-10,
+                  "condition_features: B_T rows are linearly dependent "
+                  "(conditioning on a probability-zero event)");
+    for (std::size_t c = 0; c < d; ++c) q(c, j) /= norm;
+  }
+  // Extend Q to a full orthonormal basis; the complement Z (d x (d - t))
+  // comes from orthogonalizing the standard basis against Q.
+  Matrix z(d, d - t.size());
+  std::size_t filled = 0;
+  std::vector<double> candidate(d);
+  for (std::size_t e = 0; e < d && filled < d - t.size(); ++e) {
+    for (std::size_t c = 0; c < d; ++c) candidate[c] = (c == e) ? 1.0 : 0.0;
+    for (int pass = 0; pass < 2; ++pass) {
+      for (std::size_t j = 0; j < t.size(); ++j) {
+        double dot = 0.0;
+        for (std::size_t c = 0; c < d; ++c) dot += candidate[c] * q(c, j);
+        for (std::size_t c = 0; c < d; ++c) candidate[c] -= dot * q(c, j);
+      }
+      for (std::size_t j = 0; j < filled; ++j) {
+        double dot = 0.0;
+        for (std::size_t c = 0; c < d; ++c) dot += candidate[c] * z(c, j);
+        for (std::size_t c = 0; c < d; ++c) candidate[c] -= dot * z(c, j);
+      }
+    }
+    double norm = 0.0;
+    for (std::size_t c = 0; c < d; ++c) norm += candidate[c] * candidate[c];
+    norm = std::sqrt(norm);
+    if (norm < 1e-8) continue;  // e_i was (nearly) inside the span
+    for (std::size_t c = 0; c < d; ++c) z(c, filled) = candidate[c] / norm;
+    ++filled;
+  }
+  check_numeric(filled == d - t.size(),
+                "condition_features: failed to complete the basis");
+  // B' = B_R Z.
+  const auto keep = complement_indices(b.rows(), t);
+  Matrix out(keep.size(), d - t.size());
+  for (std::size_t i = 0; i < keep.size(); ++i) {
+    const auto row = static_cast<std::size_t>(keep[i]);
+    for (std::size_t j = 0; j < d - t.size(); ++j) {
+      double acc = 0.0;
+      for (std::size_t c = 0; c < d; ++c) acc += b(row, c) * z(c, j);
+      out(i, j) = acc;
+    }
+  }
+  return out;
+}
+
+}  // namespace pardpp

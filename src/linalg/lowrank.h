@@ -1,0 +1,37 @@
+// Low-rank ("dual") representations of symmetric PSD kernels.
+//
+// Real DPP deployments build L = B B^T from an n x d feature matrix with
+// d << n (the paper's applications in §1.1 — summarization, recommender
+// slates — all live here). The dual trick keeps every oracle operation in
+// O(n d^2 + d^3):
+//  * spectrum: the nonzero eigenvalues of B B^T are those of the d x d
+//    Gram matrix B^T B, with eigenvectors U = B V diag(lambda)^{-1/2};
+//  * conditioning: the Schur complement of L on T is again low-rank,
+//    (B')(B')^T with B' = B_rest Z where Z spans the orthogonal
+//    complement of span(B_T rows) — the rank drops by |T| per
+//    conditioning step.
+#pragma once
+
+#include "linalg/matrix.h"
+
+namespace pardpp {
+
+/// Nonzero part of the eigendecomposition of B B^T.
+struct LowRankEigen {
+  std::vector<double> values;  ///< nonzero eigenvalues, ascending
+  Matrix vectors;              ///< n x values.size(), orthonormal columns
+};
+
+/// Spectral decomposition of B B^T via the d x d Gram matrix.
+/// Eigenvalues below `rank_tol` * max are dropped.
+[[nodiscard]] LowRankEigen eigen_from_features(const Matrix& b,
+                                               double rank_tol = 1e-12);
+
+/// Returns B' with B' B'^T equal to the Schur complement
+/// (B B^T)^T = L_RR - L_RT L_TT^{-1} L_TR (rows R = complement of T in
+/// original order, columns reduced to d - |T|). Throws NumericalError when
+/// the rows B_T are linearly dependent (conditioning on a null event).
+[[nodiscard]] Matrix condition_features(const Matrix& b,
+                                        std::span<const int> t);
+
+}  // namespace pardpp

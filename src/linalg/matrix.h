@@ -1,0 +1,227 @@
+// Dense matrix type used throughout pardpp.
+//
+// The library deliberately ships its own small dense-linear-algebra layer
+// instead of depending on an external BLAS/LAPACK: the counting oracles the
+// paper relies on (determinants, Schur complements, characteristic
+// polynomials, Pfaffians) are part of the system being reproduced, and the
+// test suite validates them against brute-force enumeration.
+//
+// `BasicMatrix<T>` is row-major and contiguous; `Matrix` is the real
+// (double) instantiation and `CMatrix` the complex one (used by the
+// roots-of-unity characteristic-polynomial oracle).
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "support/error.h"
+
+namespace pardpp {
+
+template <typename T>
+class BasicMatrix {
+ public:
+  using value_type = T;
+
+  BasicMatrix() = default;
+
+  /// rows x cols matrix, zero-initialized.
+  BasicMatrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, T{}) {}
+
+  /// rows x cols matrix with every entry set to `fill`.
+  BasicMatrix(std::size_t rows, std::size_t cols, T fill)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  /// n x n identity.
+  [[nodiscard]] static BasicMatrix identity(std::size_t n) {
+    BasicMatrix m(n, n);
+    for (std::size_t i = 0; i < n; ++i) m(i, i) = T{1};
+    return m;
+  }
+
+  /// Diagonal matrix from a vector.
+  [[nodiscard]] static BasicMatrix diagonal(std::span<const T> diag) {
+    BasicMatrix m(diag.size(), diag.size());
+    for (std::size_t i = 0; i < diag.size(); ++i) m(i, i) = diag[i];
+    return m;
+  }
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+  [[nodiscard]] bool square() const noexcept { return rows_ == cols_; }
+
+  [[nodiscard]] T& operator()(std::size_t i, std::size_t j) noexcept {
+    return data_[i * cols_ + j];
+  }
+  [[nodiscard]] const T& operator()(std::size_t i, std::size_t j) const noexcept {
+    return data_[i * cols_ + j];
+  }
+
+  /// Contiguous view of row i.
+  [[nodiscard]] std::span<T> row(std::size_t i) noexcept {
+    return std::span<T>(data_.data() + i * cols_, cols_);
+  }
+  [[nodiscard]] std::span<const T> row(std::size_t i) const noexcept {
+    return std::span<const T>(data_.data() + i * cols_, cols_);
+  }
+
+  [[nodiscard]] std::span<T> flat() noexcept { return std::span<T>(data_); }
+  [[nodiscard]] std::span<const T> flat() const noexcept {
+    return std::span<const T>(data_);
+  }
+
+  /// Gathered submatrix with the given row and column index lists
+  /// (indices may repeat or reorder).
+  [[nodiscard]] BasicMatrix gather(std::span<const int> row_idx,
+                                   std::span<const int> col_idx) const {
+    BasicMatrix out(row_idx.size(), col_idx.size());
+    for (std::size_t i = 0; i < row_idx.size(); ++i) {
+      const auto r = static_cast<std::size_t>(row_idx[i]);
+      check_arg(r < rows_, "gather: row index out of range");
+      for (std::size_t j = 0; j < col_idx.size(); ++j) {
+        const auto c = static_cast<std::size_t>(col_idx[j]);
+        check_arg(c < cols_, "gather: col index out of range");
+        out(i, j) = (*this)(r, c);
+      }
+    }
+    return out;
+  }
+
+  /// Principal submatrix on an index set.
+  [[nodiscard]] BasicMatrix principal(std::span<const int> idx) const {
+    return gather(idx, idx);
+  }
+
+  [[nodiscard]] BasicMatrix transpose() const {
+    BasicMatrix out(cols_, rows_);
+    for (std::size_t i = 0; i < rows_; ++i)
+      for (std::size_t j = 0; j < cols_; ++j) out(j, i) = (*this)(i, j);
+    return out;
+  }
+
+  BasicMatrix& operator+=(const BasicMatrix& o) {
+    check_arg(rows_ == o.rows_ && cols_ == o.cols_, "matrix +=: shape mismatch");
+    for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += o.data_[i];
+    return *this;
+  }
+
+  BasicMatrix& operator-=(const BasicMatrix& o) {
+    check_arg(rows_ == o.rows_ && cols_ == o.cols_, "matrix -=: shape mismatch");
+    for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= o.data_[i];
+    return *this;
+  }
+
+  BasicMatrix& operator*=(T scalar) {
+    for (auto& v : data_) v *= scalar;
+    return *this;
+  }
+
+  [[nodiscard]] friend BasicMatrix operator+(BasicMatrix a, const BasicMatrix& b) {
+    a += b;
+    return a;
+  }
+  [[nodiscard]] friend BasicMatrix operator-(BasicMatrix a, const BasicMatrix& b) {
+    a -= b;
+    return a;
+  }
+  [[nodiscard]] friend BasicMatrix operator*(BasicMatrix a, T scalar) {
+    a *= scalar;
+    return a;
+  }
+  [[nodiscard]] friend BasicMatrix operator*(T scalar, BasicMatrix a) {
+    a *= scalar;
+    return a;
+  }
+
+  /// Matrix product (ikj loop order for cache friendliness).
+  [[nodiscard]] friend BasicMatrix operator*(const BasicMatrix& a,
+                                             const BasicMatrix& b) {
+    check_arg(a.cols_ == b.rows_, "matrix *: inner dimension mismatch");
+    BasicMatrix out(a.rows_, b.cols_);
+#pragma omp parallel for schedule(static) if (a.rows_ > 64)
+    for (std::size_t i = 0; i < a.rows_; ++i) {
+      for (std::size_t k = 0; k < a.cols_; ++k) {
+        const T aik = a(i, k);
+        if (aik == T{}) continue;
+        const T* brow = b.data_.data() + k * b.cols_;
+        T* orow = out.data_.data() + i * out.cols_;
+        for (std::size_t j = 0; j < b.cols_; ++j) orow[j] += aik * brow[j];
+      }
+    }
+    return out;
+  }
+
+  /// Matrix-vector product.
+  [[nodiscard]] std::vector<T> apply(std::span<const T> x) const {
+    check_arg(x.size() == cols_, "apply: vector size mismatch");
+    std::vector<T> y(rows_, T{});
+    for (std::size_t i = 0; i < rows_; ++i) {
+      T acc{};
+      const T* row_ptr = data_.data() + i * cols_;
+      for (std::size_t j = 0; j < cols_; ++j) acc += row_ptr[j] * x[j];
+      y[i] = acc;
+    }
+    return y;
+  }
+
+  [[nodiscard]] T trace() const {
+    check_arg(square(), "trace: matrix not square");
+    T acc{};
+    for (std::size_t i = 0; i < rows_; ++i) acc += (*this)(i, i);
+    return acc;
+  }
+
+  /// Largest absolute entry (complex: largest modulus).
+  [[nodiscard]] double max_abs() const {
+    double best = 0.0;
+    for (const auto& v : data_) best = std::max(best, std::abs(v));
+    return best;
+  }
+
+  /// Frobenius norm.
+  [[nodiscard]] double frobenius() const {
+    double acc = 0.0;
+    for (const auto& v : data_) acc += std::norm(std::complex<double>(v));
+    return std::sqrt(acc);
+  }
+
+  /// True when |A - A^T|_max <= tol (only meaningful for square A).
+  [[nodiscard]] bool is_symmetric(double tol = 1e-10) const {
+    if (!square()) return false;
+    for (std::size_t i = 0; i < rows_; ++i)
+      for (std::size_t j = i + 1; j < cols_; ++j)
+        if (std::abs((*this)(i, j) - (*this)(j, i)) > tol) return false;
+    return true;
+  }
+
+  /// Symmetrization (A + A^T)/2.
+  [[nodiscard]] BasicMatrix symmetric_part() const {
+    check_arg(square(), "symmetric_part: matrix not square");
+    BasicMatrix out(rows_, cols_);
+    for (std::size_t i = 0; i < rows_; ++i)
+      for (std::size_t j = 0; j < cols_; ++j)
+        out(i, j) = ((*this)(i, j) + (*this)(j, i)) / T{2};
+    return out;
+  }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<T> data_;
+};
+
+using Matrix = BasicMatrix<double>;
+using CMatrix = BasicMatrix<std::complex<double>>;
+
+/// Promotes a real matrix to complex.
+[[nodiscard]] inline CMatrix to_complex(const Matrix& m) {
+  CMatrix out(m.rows(), m.cols());
+  for (std::size_t i = 0; i < m.rows(); ++i)
+    for (std::size_t j = 0; j < m.cols(); ++j) out(i, j) = m(i, j);
+  return out;
+}
+
+}  // namespace pardpp

@@ -1,0 +1,25 @@
+// Pfaffians of skew-symmetric matrices.
+//
+// Kasteleyn's theorem reduces counting perfect matchings of a planar graph
+// to the Pfaffian of a signed adjacency matrix (paper §6 / [Kas67]); this
+// is the counting oracle behind the planar-matching samplers. The
+// production path is the Parlett-Reid L T L^T tridiagonalization with
+// pivoting (O(n^3), log-magnitude accumulation); a recursive cofactor
+// expansion is provided for cross-checking at test sizes.
+#pragma once
+
+#include "linalg/lu.h"
+#include "linalg/matrix.h"
+
+namespace pardpp {
+
+/// log |Pf(A)| and sign(Pf(A)) for a skew-symmetric matrix with an even
+/// number of rows. Odd dimension or a structurally zero Pfaffian yields
+/// {kNegInf, 0}. The input must satisfy A = -A^T (checked).
+[[nodiscard]] SignedLogDet pfaffian_log(Matrix a);
+
+/// Pfaffian by recursive expansion along the first row; O(n!!) — test
+/// sizes only (n <= 12 or so).
+[[nodiscard]] double pfaffian_small(const Matrix& a);
+
+}  // namespace pardpp

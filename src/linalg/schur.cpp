@@ -1,0 +1,67 @@
+#include "linalg/schur.h"
+
+#include <algorithm>
+
+#include "linalg/cholesky.h"
+#include "linalg/lu.h"
+#include "support/error.h"
+
+namespace pardpp {
+
+std::vector<int> complement_indices(std::size_t n, std::span<const int> subset) {
+  std::vector<bool> in_subset(n, false);
+  for (const int i : subset) {
+    check_arg(i >= 0 && static_cast<std::size_t>(i) < n,
+              "complement_indices: index out of range");
+    check_arg(!in_subset[static_cast<std::size_t>(i)],
+              "complement_indices: duplicate index");
+    in_subset[static_cast<std::size_t>(i)] = true;
+  }
+  std::vector<int> out;
+  out.reserve(n - subset.size());
+  for (std::size_t i = 0; i < n; ++i)
+    if (!in_subset[i]) out.push_back(static_cast<int>(i));
+  return out;
+}
+
+SchurResult schur_complement(const Matrix& m, std::span<const int> keep,
+                             std::span<const int> elim, bool symmetric) {
+  check_arg(m.square(), "schur_complement: matrix not square");
+  if (elim.empty()) {
+    return {m.gather(keep, keep), 0.0, 1};
+  }
+  const Matrix mee = m.gather(elim, elim);
+  const Matrix mek = m.gather(elim, keep);
+  const Matrix mke = m.gather(keep, elim);
+  Matrix x;  // M_EE^{-1} M_EK
+  double log_det = kNegInf;
+  int sign = 0;
+  if (symmetric) {
+    auto chol = cholesky(mee);
+    check_numeric(chol.has_value(),
+                  "schur_complement: symmetric elimination block not PD "
+                  "(conditioning on a probability-zero event?)");
+    x = chol->solve_matrix(mek);
+    log_det = chol->log_det();
+    sign = 1;
+  } else {
+    const auto lu = lu_factor(mee);
+    check_numeric(!lu.singular(),
+                  "schur_complement: singular elimination block "
+                  "(conditioning on a probability-zero event?)");
+    x = lu.solve_matrix(mek);
+    log_det = lu.log_abs_det();
+    sign = lu.det_phase().real() >= 0.0 ? 1 : -1;
+  }
+  Matrix reduced = m.gather(keep, keep);
+  reduced -= mke * x;
+  return {std::move(reduced), log_det, sign};
+}
+
+SchurResult condition_ensemble(const Matrix& l, std::span<const int> t,
+                               bool symmetric) {
+  const auto keep = complement_indices(l.rows(), t);
+  return schur_complement(l, keep, t, symmetric);
+}
+
+}  // namespace pardpp

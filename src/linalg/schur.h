@@ -1,0 +1,45 @@
+// Schur complements.
+//
+// Conditioning a determinantal distribution on the inclusion of a set T is
+// exactly a Schur complement of the ensemble matrix (paper §3.2):
+//   L^T = L_{~T} - L_{~T,T} (L_{T,T})^{-1} L_{T,~T},
+// and the chain rule det(L_{T ∪ F}) = det(L_{T,T}) det((L^T)_F) is what
+// keeps counting consistent across conditioning steps. The elimination
+// block is factored with Cholesky when symmetric and pivoted LU otherwise.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "support/logsum.h"
+
+namespace pardpp {
+
+/// Result of eliminating the block indexed by `elim`.
+struct SchurResult {
+  Matrix reduced;            ///< M_KK - M_KE M_EE^{-1} M_EK, in `keep` order
+  double log_abs_det_elim;   ///< log |det M_EE|
+  int det_sign_elim;         ///< sign of det M_EE (0 when singular)
+};
+
+/// Computes the Schur complement of M with respect to the `elim` block.
+/// `keep` and `elim` must be disjoint index sets into M. When `symmetric`
+/// is true the elimination block must be positive definite (throws
+/// NumericalError otherwise); the general path throws on a singular block.
+[[nodiscard]] SchurResult schur_complement(const Matrix& m,
+                                           std::span<const int> keep,
+                                           std::span<const int> elim,
+                                           bool symmetric);
+
+/// Convenience for ensemble conditioning: eliminates T, keeps the
+/// complement of T in ascending original order.
+[[nodiscard]] SchurResult condition_ensemble(const Matrix& l,
+                                             std::span<const int> t,
+                                             bool symmetric);
+
+/// The complement of a sorted-or-not index set within {0..n-1}, ascending.
+[[nodiscard]] std::vector<int> complement_indices(std::size_t n,
+                                                  std::span<const int> subset);
+
+}  // namespace pardpp

@@ -1,0 +1,274 @@
+#include "linalg/symmetric_eigen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "support/error.h"
+
+namespace pardpp {
+
+namespace {
+
+// Householder reduction of a symmetric matrix to tridiagonal form.
+// On exit `z` holds the accumulated orthogonal transformation, `d` the
+// diagonal and `e` the subdiagonal (e[0] unused). Classic tred2. With
+// `want_vectors == false` the transformation is not accumulated.
+void tred2(Matrix& z, std::vector<double>& d, std::vector<double>& e,
+           bool want_vectors = true) {
+  const int n = static_cast<int>(z.rows());
+  for (int i = n - 1; i >= 1; --i) {
+    const int l = i - 1;
+    double h = 0.0;
+    double scale = 0.0;
+    if (l > 0) {
+      for (int k = 0; k <= l; ++k)
+        scale += std::abs(z(static_cast<std::size_t>(i), static_cast<std::size_t>(k)));
+      if (scale == 0.0) {
+        e[static_cast<std::size_t>(i)] =
+            z(static_cast<std::size_t>(i), static_cast<std::size_t>(l));
+      } else {
+        for (int k = 0; k <= l; ++k) {
+          auto& zik = z(static_cast<std::size_t>(i), static_cast<std::size_t>(k));
+          zik /= scale;
+          h += zik * zik;
+        }
+        double f = z(static_cast<std::size_t>(i), static_cast<std::size_t>(l));
+        double g = (f >= 0.0 ? -std::sqrt(h) : std::sqrt(h));
+        e[static_cast<std::size_t>(i)] = scale * g;
+        h -= f * g;
+        z(static_cast<std::size_t>(i), static_cast<std::size_t>(l)) = f - g;
+        f = 0.0;
+        for (int j = 0; j <= l; ++j) {
+          z(static_cast<std::size_t>(j), static_cast<std::size_t>(i)) =
+              z(static_cast<std::size_t>(i), static_cast<std::size_t>(j)) / h;
+          g = 0.0;
+          for (int k = 0; k <= j; ++k)
+            g += z(static_cast<std::size_t>(j), static_cast<std::size_t>(k)) *
+                 z(static_cast<std::size_t>(i), static_cast<std::size_t>(k));
+          for (int k = j + 1; k <= l; ++k)
+            g += z(static_cast<std::size_t>(k), static_cast<std::size_t>(j)) *
+                 z(static_cast<std::size_t>(i), static_cast<std::size_t>(k));
+          e[static_cast<std::size_t>(j)] = g / h;
+          f += e[static_cast<std::size_t>(j)] *
+               z(static_cast<std::size_t>(i), static_cast<std::size_t>(j));
+        }
+        const double hh = f / (h + h);
+        for (int j = 0; j <= l; ++j) {
+          f = z(static_cast<std::size_t>(i), static_cast<std::size_t>(j));
+          g = e[static_cast<std::size_t>(j)] - hh * f;
+          e[static_cast<std::size_t>(j)] = g;
+          for (int k = 0; k <= j; ++k)
+            z(static_cast<std::size_t>(j), static_cast<std::size_t>(k)) -=
+                f * e[static_cast<std::size_t>(k)] +
+                g * z(static_cast<std::size_t>(i), static_cast<std::size_t>(k));
+        }
+      }
+    } else {
+      e[static_cast<std::size_t>(i)] =
+          z(static_cast<std::size_t>(i), static_cast<std::size_t>(l));
+    }
+    d[static_cast<std::size_t>(i)] = h;
+  }
+  d[0] = 0.0;
+  e[0] = 0.0;
+  if (!want_vectors) {
+    for (int i = 0; i < n; ++i)
+      d[static_cast<std::size_t>(i)] =
+          z(static_cast<std::size_t>(i), static_cast<std::size_t>(i));
+    return;
+  }
+  for (int i = 0; i < n; ++i) {
+    const int l = i - 1;
+    if (d[static_cast<std::size_t>(i)] != 0.0) {
+      for (int j = 0; j <= l; ++j) {
+        double g = 0.0;
+        for (int k = 0; k <= l; ++k)
+          g += z(static_cast<std::size_t>(i), static_cast<std::size_t>(k)) *
+               z(static_cast<std::size_t>(k), static_cast<std::size_t>(j));
+        for (int k = 0; k <= l; ++k)
+          z(static_cast<std::size_t>(k), static_cast<std::size_t>(j)) -=
+              g * z(static_cast<std::size_t>(k), static_cast<std::size_t>(i));
+      }
+    }
+    d[static_cast<std::size_t>(i)] =
+        z(static_cast<std::size_t>(i), static_cast<std::size_t>(i));
+    z(static_cast<std::size_t>(i), static_cast<std::size_t>(i)) = 1.0;
+    for (int j = 0; j <= l; ++j) {
+      z(static_cast<std::size_t>(j), static_cast<std::size_t>(i)) = 0.0;
+      z(static_cast<std::size_t>(i), static_cast<std::size_t>(j)) = 0.0;
+    }
+  }
+}
+
+// Implicit-shift QL iteration on a tridiagonal matrix, accumulating the
+// rotations into the eigenvector matrix `z` when `want_vectors`. Classic
+// tqli.
+void tql2(std::vector<double>& d, std::vector<double>& e, Matrix& z,
+          bool want_vectors = true) {
+  const int n = static_cast<int>(d.size());
+  for (int i = 1; i < n; ++i) e[static_cast<std::size_t>(i - 1)] = e[static_cast<std::size_t>(i)];
+  e[static_cast<std::size_t>(n - 1)] = 0.0;
+  for (int l = 0; l < n; ++l) {
+    int iter = 0;
+    int m = l;
+    do {
+      for (m = l; m < n - 1; ++m) {
+        const double dd = std::abs(d[static_cast<std::size_t>(m)]) +
+                          std::abs(d[static_cast<std::size_t>(m + 1)]);
+        if (std::abs(e[static_cast<std::size_t>(m)]) <= 1e-15 * dd) break;
+      }
+      if (m != l) {
+        check_numeric(iter++ < 64, "tql2: QL iteration failed to converge");
+        double g = (d[static_cast<std::size_t>(l + 1)] - d[static_cast<std::size_t>(l)]) /
+                   (2.0 * e[static_cast<std::size_t>(l)]);
+        double r = std::hypot(g, 1.0);
+        g = d[static_cast<std::size_t>(m)] - d[static_cast<std::size_t>(l)] +
+            e[static_cast<std::size_t>(l)] / (g + std::copysign(r, g));
+        double s = 1.0;
+        double c = 1.0;
+        double p = 0.0;
+        int i = m - 1;
+        for (; i >= l; --i) {
+          double f = s * e[static_cast<std::size_t>(i)];
+          const double b = c * e[static_cast<std::size_t>(i)];
+          r = std::hypot(f, g);
+          e[static_cast<std::size_t>(i + 1)] = r;
+          if (r == 0.0) {
+            d[static_cast<std::size_t>(i + 1)] -= p;
+            e[static_cast<std::size_t>(m)] = 0.0;
+            break;
+          }
+          s = f / r;
+          c = g / r;
+          g = d[static_cast<std::size_t>(i + 1)] - p;
+          r = (d[static_cast<std::size_t>(i)] - g) * s + 2.0 * c * b;
+          p = s * r;
+          d[static_cast<std::size_t>(i + 1)] = g + p;
+          g = c * r - b;
+          if (want_vectors) {
+            for (int k = 0; k < n; ++k) {
+              f = z(static_cast<std::size_t>(k), static_cast<std::size_t>(i + 1));
+              z(static_cast<std::size_t>(k), static_cast<std::size_t>(i + 1)) =
+                  s * z(static_cast<std::size_t>(k), static_cast<std::size_t>(i)) + c * f;
+              z(static_cast<std::size_t>(k), static_cast<std::size_t>(i)) =
+                  c * z(static_cast<std::size_t>(k), static_cast<std::size_t>(i)) - s * f;
+            }
+          }
+        }
+        if (r == 0.0 && i >= l) continue;
+        d[static_cast<std::size_t>(l)] -= p;
+        e[static_cast<std::size_t>(l)] = g;
+        e[static_cast<std::size_t>(m)] = 0.0;
+      }
+    } while (m != l);
+  }
+}
+
+// Sorts eigenpairs ascending by eigenvalue.
+SymmetricEigen sorted(std::vector<double> d, Matrix z) {
+  const std::size_t n = d.size();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&d](std::size_t a, std::size_t b) { return d[a] < d[b]; });
+  SymmetricEigen out;
+  out.values.resize(n);
+  out.vectors = Matrix(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    out.values[j] = d[order[j]];
+    for (std::size_t i = 0; i < n; ++i) out.vectors(i, j) = z(i, order[j]);
+  }
+  return out;
+}
+
+}  // namespace
+
+SymmetricEigen symmetric_eigen(const Matrix& a) {
+  check_arg(a.square(), "symmetric_eigen: matrix not square");
+  const std::size_t n = a.rows();
+  if (n == 0) return {{}, Matrix(0, 0)};
+  Matrix z = a;
+  std::vector<double> d(n, 0.0);
+  std::vector<double> e(n, 0.0);
+  if (n == 1) {
+    d[0] = a(0, 0);
+    z(0, 0) = 1.0;
+    return {std::move(d), std::move(z)};
+  }
+  tred2(z, d, e);
+  tql2(d, e, z);
+  return sorted(std::move(d), std::move(z));
+}
+
+SymmetricEigen jacobi_eigen(const Matrix& a, int max_sweeps, double tol) {
+  check_arg(a.square(), "jacobi_eigen: matrix not square");
+  const std::size_t n = a.rows();
+  Matrix m = a;
+  Matrix v = Matrix::identity(n);
+  const double scale = std::max(a.max_abs(), 1e-300);
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    double off = 0.0;
+    for (std::size_t p = 0; p < n; ++p)
+      for (std::size_t q = p + 1; q < n; ++q) off += m(p, q) * m(p, q);
+    if (std::sqrt(off) <= tol * scale * static_cast<double>(n)) break;
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        const double apq = m(p, q);
+        if (std::abs(apq) <= 1e-300) continue;
+        const double theta = (m(q, q) - m(p, p)) / (2.0 * apq);
+        const double t = std::copysign(
+            1.0 / (std::abs(theta) + std::sqrt(theta * theta + 1.0)), theta);
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+        for (std::size_t k = 0; k < n; ++k) {
+          const double mkp = m(k, p);
+          const double mkq = m(k, q);
+          m(k, p) = c * mkp - s * mkq;
+          m(k, q) = s * mkp + c * mkq;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double mpk = m(p, k);
+          const double mqk = m(q, k);
+          m(p, k) = c * mpk - s * mqk;
+          m(q, k) = s * mpk + c * mqk;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double vkp = v(k, p);
+          const double vkq = v(k, q);
+          v(k, p) = c * vkp - s * vkq;
+          v(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+  std::vector<double> d(n);
+  for (std::size_t i = 0; i < n; ++i) d[i] = m(i, i);
+  return sorted(std::move(d), std::move(v));
+}
+
+std::vector<double> symmetric_eigenvalues(const Matrix& a) {
+  check_arg(a.square(), "symmetric_eigenvalues: matrix not square");
+  const std::size_t n = a.rows();
+  if (n == 0) return {};
+  Matrix z = a;
+  std::vector<double> d(n, 0.0);
+  std::vector<double> e(n, 0.0);
+  if (n == 1) {
+    d[0] = a(0, 0);
+    return d;
+  }
+  tred2(z, d, e, /*want_vectors=*/false);
+  tql2(d, e, z, /*want_vectors=*/false);
+  std::sort(d.begin(), d.end());
+  return d;
+}
+
+double spectral_norm_symmetric(const Matrix& a) {
+  const auto eigen = symmetric_eigen(a);
+  double best = 0.0;
+  for (const double v : eigen.values) best = std::max(best, std::abs(v));
+  return best;
+}
+
+}  // namespace pardpp

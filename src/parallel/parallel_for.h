@@ -1,0 +1,60 @@
+// parallel_for / parallel_invoke helpers on top of ThreadPool.
+//
+// These provide the fork-join structure of one logical PRAM round: a batch
+// of independent bodies executed concurrently, with exceptions propagated
+// to the caller through futures (no detached work, no shared mutable state
+// beyond what the caller partitions explicitly).
+#pragma once
+
+#include <functional>
+#include <future>
+#include <vector>
+
+#include "parallel/thread_pool.h"
+
+namespace pardpp {
+
+/// Runs fn(i) for i in [begin, end) on the pool, blocking until all bodies
+/// complete. Bodies must write to disjoint state. Degenerates to a serial
+/// loop when the range is small or the pool has a single worker.
+template <typename Fn>
+void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
+                  Fn&& fn) {
+  const std::size_t count = end > begin ? end - begin : 0;
+  if (count == 0) return;
+  const std::size_t workers = pool.size();
+  if (count == 1 || workers <= 1) {
+    for (std::size_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
+  const std::size_t chunks = std::min(count, workers * 4);
+  const std::size_t chunk_size = (count + chunks - 1) / chunks;
+  std::vector<std::future<void>> futures;
+  futures.reserve(chunks);
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t lo = begin + c * chunk_size;
+    if (lo >= end) break;
+    const std::size_t hi = std::min(end, lo + chunk_size);
+    futures.push_back(pool.submit([lo, hi, &fn] {
+      for (std::size_t i = lo; i < hi; ++i) fn(i);
+    }));
+  }
+  for (auto& f : futures) f.get();
+}
+
+/// Convenience overload on the shared pool.
+template <typename Fn>
+void parallel_for(std::size_t begin, std::size_t end, Fn&& fn) {
+  parallel_for(ThreadPool::shared(), begin, end, std::forward<Fn>(fn));
+}
+
+/// Runs a set of independent thunks concurrently and waits for all of them.
+inline void parallel_invoke(ThreadPool& pool,
+                            std::vector<std::function<void()>> thunks) {
+  std::vector<std::future<void>> futures;
+  futures.reserve(thunks.size());
+  for (auto& thunk : thunks) futures.push_back(pool.submit(std::move(thunk)));
+  for (auto& f : futures) f.get();
+}
+
+}  // namespace pardpp

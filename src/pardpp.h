@@ -1,0 +1,63 @@
+// pardpp — parallel sampling from determinantal distributions.
+//
+// Umbrella header: includes the full public API. See README.md for a tour
+// and DESIGN.md for the module inventory.
+#pragma once
+
+// Support
+#include "support/combinatorics.h"
+#include "support/error.h"
+#include "support/logsum.h"
+#include "support/random.h"
+#include "support/timer.h"
+
+// Parallel substrate + PRAM cost model
+#include "parallel/parallel_for.h"
+#include "parallel/pram.h"
+#include "parallel/thread_pool.h"
+
+// Linear algebra
+#include "linalg/charpoly.h"
+#include "linalg/cholesky.h"
+#include "linalg/esp.h"
+#include "linalg/factory.h"
+#include "linalg/lowrank.h"
+#include "linalg/lu.h"
+#include "linalg/matrix.h"
+#include "linalg/pfaffian.h"
+#include "linalg/schur.h"
+#include "linalg/symmetric_eigen.h"
+
+// Distributions and counting oracles
+#include "distributions/explicit.h"
+#include "distributions/hard_instance.h"
+#include "distributions/oracle.h"
+#include "distributions/product.h"
+#include "dpp/cardinality.h"
+#include "dpp/charpoly_engine.h"
+#include "dpp/ensemble.h"
+#include "dpp/feature_oracle.h"
+#include "dpp/general_oracle.h"
+#include "dpp/hkpv.h"
+#include "dpp/subdivision.h"
+#include "dpp/symmetric_oracle.h"
+#include "dpp/unconstrained_oracle.h"
+
+// Samplers
+#include "sampling/batched.h"
+#include "sampling/diagnostics.h"
+#include "sampling/entropic.h"
+#include "sampling/filtering.h"
+#include "sampling/rejection.h"
+#include "sampling/sequential.h"
+#include "sampling/unconstrained.h"
+
+// Planar perfect matchings
+#include "planar/enumerate.h"
+#include "planar/faces.h"
+#include "planar/fkt.h"
+#include "planar/graph.h"
+#include "planar/grid.h"
+#include "planar/matching_count.h"
+#include "planar/matching_sampler.h"
+#include "planar/separator.h"

@@ -1,0 +1,66 @@
+#include "planar/enumerate.h"
+
+#include <algorithm>
+
+namespace pardpp {
+
+namespace {
+
+// Backtracking over the lowest-indexed unmatched vertex.
+void recurse(const PlanarGraph& g, std::vector<bool>& matched,
+             Matching& partial, std::vector<Matching>* out,
+             std::uint64_t& count) {
+  int v = -1;
+  for (std::size_t i = 0; i < g.num_vertices(); ++i) {
+    if (!matched[i]) {
+      v = static_cast<int>(i);
+      break;
+    }
+  }
+  if (v < 0) {
+    ++count;
+    if (out != nullptr) out->push_back(canonical_matching(partial));
+    return;
+  }
+  matched[static_cast<std::size_t>(v)] = true;
+  for (const int u : g.neighbors(v)) {
+    if (matched[static_cast<std::size_t>(u)]) continue;
+    matched[static_cast<std::size_t>(u)] = true;
+    partial.emplace_back(std::min(v, u), std::max(v, u));
+    recurse(g, matched, partial, out, count);
+    partial.pop_back();
+    matched[static_cast<std::size_t>(u)] = false;
+  }
+  matched[static_cast<std::size_t>(v)] = false;
+}
+
+}  // namespace
+
+std::vector<Matching> enumerate_perfect_matchings(const PlanarGraph& g) {
+  std::vector<Matching> out;
+  if (g.num_vertices() % 2 != 0) return out;
+  std::vector<bool> matched(g.num_vertices(), false);
+  Matching partial;
+  std::uint64_t count = 0;
+  recurse(g, matched, partial, &out, count);
+  return out;
+}
+
+std::uint64_t count_perfect_matchings_brute(const PlanarGraph& g) {
+  if (g.num_vertices() % 2 != 0) return 0;
+  std::vector<bool> matched(g.num_vertices(), false);
+  Matching partial;
+  std::uint64_t count = 0;
+  recurse(g, matched, partial, nullptr, count);
+  return count;
+}
+
+Matching canonical_matching(Matching m) {
+  for (auto& [u, v] : m) {
+    if (u > v) std::swap(u, v);
+  }
+  std::sort(m.begin(), m.end());
+  return m;
+}
+
+}  // namespace pardpp

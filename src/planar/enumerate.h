@@ -1,0 +1,26 @@
+// Brute-force perfect-matching enumeration (ground truth for tests).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "planar/graph.h"
+
+namespace pardpp {
+
+/// A perfect matching as a sorted list of (u, v) edges with u < v.
+using Matching = std::vector<std::pair<int, int>>;
+
+/// All perfect matchings of g by backtracking. Intended for small graphs
+/// (n <= ~24).
+[[nodiscard]] std::vector<Matching> enumerate_perfect_matchings(
+    const PlanarGraph& g);
+
+/// #PM by the same backtracking (no materialization).
+[[nodiscard]] std::uint64_t count_perfect_matchings_brute(
+    const PlanarGraph& g);
+
+/// Canonical form: sorts edge endpoints and the edge list.
+[[nodiscard]] Matching canonical_matching(Matching m);
+
+}  // namespace pardpp

@@ -1,0 +1,69 @@
+#include "planar/faces.h"
+
+#include <algorithm>
+#include <map>
+
+namespace pardpp {
+
+FaceDecomposition compute_faces(const PlanarGraph& g) {
+  const std::size_t n = g.num_vertices();
+  // Rotation tables: for each vertex, neighbor -> position, and the
+  // ordered counterclockwise neighbor list.
+  std::vector<std::vector<int>> rot(n);
+  std::vector<std::map<int, std::size_t>> pos(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    rot[v] = g.rotation(static_cast<int>(v));
+    for (std::size_t i = 0; i < rot[v].size(); ++i)
+      pos[v][rot[v][i]] = i;
+  }
+  // Dart bookkeeping.
+  std::map<std::pair<int, int>, bool> used;
+  for (const auto& [u, v] : g.edges()) {
+    used[{u, v}] = false;
+    used[{v, u}] = false;
+  }
+  FaceDecomposition out;
+  for (auto& [dart, dart_used] : used) {
+    if (dart_used) continue;
+    Face face;
+    std::pair<int, int> current = dart;
+    do {
+      auto it = used.find(current);
+      check(it != used.end() && !it->second,
+            "compute_faces: dart walk revisited a dart (not an embedding?)");
+      it->second = true;
+      face.darts.push_back(current);
+      const auto [u, v] = current;
+      // Next dart: at v, take the neighbor *before* u in ccw order
+      // (standard face-tracing rule for ccw rotations).
+      const auto& rv = rot[static_cast<std::size_t>(v)];
+      const std::size_t iu = pos[static_cast<std::size_t>(v)].at(u);
+      const int w = rv[(iu + rv.size() - 1) % rv.size()];
+      current = {v, w};
+    } while (current != dart);
+    // Shoelace signed area over the dart tails.
+    double area = 0.0;
+    for (const auto& [u, v] : face.darts) {
+      const auto& cu = g.coord(u);
+      const auto& cv = g.coord(v);
+      area += cu[0] * cv[1] - cv[0] * cu[1];
+    }
+    face.signed_area = 0.5 * area;
+    out.faces.push_back(std::move(face));
+  }
+  // Outer face: the unique face with negative signed area (clockwise
+  // traversal) of largest magnitude.
+  double most_negative = 0.0;
+  for (std::size_t f = 0; f < out.faces.size(); ++f) {
+    if (out.faces[f].signed_area < most_negative) {
+      most_negative = out.faces[f].signed_area;
+      out.outer_face = f;
+    }
+  }
+  out.euler = static_cast<long long>(n) -
+              static_cast<long long>(g.num_edges()) +
+              static_cast<long long>(out.faces.size());
+  return out;
+}
+
+}  // namespace pardpp

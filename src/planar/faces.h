@@ -1,0 +1,35 @@
+// Face traversal of an embedded planar graph.
+//
+// Faces are recovered from the rotation system by the standard dart walk:
+// from dart (u → v), the face continues with (v → w) where w precedes u
+// in the counterclockwise rotation at v (equivalently: next dart in
+// clockwise order after the reversed dart). With counterclockwise
+// rotations, internal faces come out with positive signed area and the
+// outer face negative — which is how the FKT code identifies it.
+#pragma once
+
+#include <vector>
+
+#include "planar/graph.h"
+
+namespace pardpp {
+
+/// A face as the cyclic list of darts (u, v) along its boundary.
+struct Face {
+  std::vector<std::pair<int, int>> darts;
+  double signed_area = 0.0;
+};
+
+struct FaceDecomposition {
+  std::vector<Face> faces;
+  std::size_t outer_face = 0;  ///< index of the outer face
+
+  /// Euler characteristic check value: V - E + F (2 for connected planar).
+  long long euler = 0;
+};
+
+/// Computes all faces; throws if the dart walk is inconsistent (i.e. the
+/// straight-line drawing was not an embedding).
+[[nodiscard]] FaceDecomposition compute_faces(const PlanarGraph& g);
+
+}  // namespace pardpp

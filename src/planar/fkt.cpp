@@ -1,0 +1,152 @@
+#include "planar/fkt.h"
+
+#include <algorithm>
+#include <map>
+#include <queue>
+
+#include "planar/faces.h"
+
+namespace pardpp {
+
+KasteleynOrientation fkt_orientation(const PlanarGraph& g) {
+  const std::size_t n = g.num_vertices();
+  check_arg(g.components().size() <= 1,
+            "fkt_orientation: graph must be connected");
+  KasteleynOrientation out;
+  out.matrix = Matrix(n, n);
+  out.orientation.assign(g.num_edges(), false);
+  if (g.num_edges() == 0) return out;
+
+  // Edge index lookup.
+  std::map<std::pair<int, int>, std::size_t> edge_index;
+  for (std::size_t e = 0; e < g.num_edges(); ++e)
+    edge_index[g.edges()[e]] = e;
+  const auto edge_of = [&edge_index](int u, int v) {
+    return edge_index.at({std::min(u, v), std::max(u, v)});
+  };
+
+  // 1. BFS spanning tree; tree edges oriented low-id -> high-id (i.e.
+  // orientation[e] = true, since edges are stored (min, max)).
+  std::vector<bool> in_tree(g.num_edges(), false);
+  std::vector<bool> determined(g.num_edges(), false);
+  {
+    std::vector<bool> visited(n, false);
+    std::queue<int> queue;
+    queue.push(0);
+    visited[0] = true;
+    while (!queue.empty()) {
+      const int v = queue.front();
+      queue.pop();
+      for (const int u : g.neighbors(v)) {
+        if (visited[static_cast<std::size_t>(u)]) continue;
+        visited[static_cast<std::size_t>(u)] = true;
+        const std::size_t e = edge_of(v, u);
+        in_tree[e] = true;
+        determined[e] = true;
+        out.orientation[e] = true;
+        queue.push(u);
+      }
+    }
+  }
+
+  // 2. Faces and the dual tree over non-tree edges.
+  const auto decomposition = compute_faces(g);
+  check(decomposition.euler == 2,
+        "fkt_orientation: Euler check failed (not a planar embedding)");
+  const std::size_t num_faces = decomposition.faces.size();
+  // For each dart, which face contains it.
+  std::map<std::pair<int, int>, std::size_t> face_of_dart;
+  for (std::size_t f = 0; f < num_faces; ++f)
+    for (const auto& dart : decomposition.faces[f].darts)
+      face_of_dart[dart] = f;
+
+  // Dual adjacency via non-tree edges.
+  std::vector<std::vector<std::pair<std::size_t, std::size_t>>> dual(
+      num_faces);  // face -> (other face, edge index)
+  for (std::size_t e = 0; e < g.num_edges(); ++e) {
+    if (in_tree[e]) continue;
+    const auto [u, v] = g.edges()[e];
+    const std::size_t f1 = face_of_dart.at({u, v});
+    const std::size_t f2 = face_of_dart.at({v, u});
+    check(f1 != f2, "fkt_orientation: bridge among non-tree edges");
+    dual[f1].emplace_back(f2, e);
+    dual[f2].emplace_back(f1, e);
+  }
+
+  // 3. Peel the dual tree from the leaves toward the outer-face root.
+  // Every processed internal face has exactly one undetermined edge.
+  std::vector<std::size_t> undetermined_count(num_faces, 0);
+  for (std::size_t f = 0; f < num_faces; ++f)
+    undetermined_count[f] = dual[f].size();
+  std::queue<std::size_t> ready;
+  for (std::size_t f = 0; f < num_faces; ++f) {
+    if (f != decomposition.outer_face && undetermined_count[f] == 1)
+      ready.push(f);
+  }
+  std::vector<bool> processed(num_faces, false);
+  std::size_t processed_count = 0;
+  while (!ready.empty()) {
+    const std::size_t f = ready.front();
+    ready.pop();
+    if (processed[f]) continue;
+    processed[f] = true;
+    ++processed_count;
+    // Find the single undetermined boundary edge.
+    std::size_t pending_edge = g.num_edges();
+    std::size_t parent_face = num_faces;
+    for (const auto& [other, e] : dual[f]) {
+      if (!determined[e]) {
+        check(pending_edge == g.num_edges(),
+              "fkt_orientation: leaf face with several undetermined edges");
+        pending_edge = e;
+        parent_face = other;
+      }
+    }
+    check(pending_edge != g.num_edges(),
+          "fkt_orientation: face with no undetermined edge before fixing");
+    // Count clockwise edges of this face. The dart walk traverses
+    // internal faces counterclockwise (positive area), so an edge is
+    // clockwise iff it is oriented against its dart.
+    std::size_t clockwise = 0;
+    bool pending_dart_forward = true;  // dart agrees with (min -> max)?
+    for (const auto& [u, v] : decomposition.faces[f].darts) {
+      const std::size_t e = edge_of(u, v);
+      const bool dart_forward = u < v;
+      if (e == pending_edge) {
+        pending_dart_forward = dart_forward;
+        continue;
+      }
+      // orientation[e] true means min -> max; the edge runs along the
+      // dart iff orientation matches the dart direction.
+      const bool along_dart = (out.orientation[e] == dart_forward);
+      if (!along_dart) ++clockwise;
+    }
+    // Fix the pending edge to make `clockwise` odd.
+    const bool need_clockwise = (clockwise % 2 == 0);
+    // Pending edge clockwise <=> oriented against its dart in this face.
+    out.orientation[pending_edge] =
+        need_clockwise ? !pending_dart_forward : pending_dart_forward;
+    determined[pending_edge] = true;
+    if (parent_face != decomposition.outer_face && !processed[parent_face]) {
+      std::size_t remaining = 0;
+      for (const auto& [other, e] : dual[parent_face]) {
+        (void)other;
+        if (!determined[e]) ++remaining;
+      }
+      if (remaining == 1) ready.push(parent_face);
+    }
+  }
+  check(processed_count + 1 == num_faces,
+        "fkt_orientation: dual-tree peeling did not reach every face");
+
+  // 4. Signed skew adjacency matrix.
+  for (std::size_t e = 0; e < g.num_edges(); ++e) {
+    const auto [u, v] = g.edges()[e];
+    const double sign = out.orientation[e] ? 1.0 : -1.0;
+    out.matrix(static_cast<std::size_t>(u), static_cast<std::size_t>(v)) = sign;
+    out.matrix(static_cast<std::size_t>(v), static_cast<std::size_t>(u)) = -sign;
+  }
+  return out;
+}
+
+}  // namespace pardpp

@@ -1,0 +1,29 @@
+// FKT (Fisher–Kasteleyn–Temperley) Pfaffian orientation.
+//
+// Orients the edges of a connected embedded planar graph so that every
+// internal face has an odd number of clockwise edges; Kasteleyn's theorem
+// then gives #PM(G) = |Pf(A)| for the signed adjacency matrix A
+// (A_uv = +1 on u → v, -1 on v → u). The construction is the classic one:
+// orient a spanning tree arbitrarily; the non-tree edges form a spanning
+// tree of the dual graph, which is processed leaves-first, each leaf face
+// fixing its one undetermined boundary edge to satisfy the parity rule.
+#pragma once
+
+#include "linalg/matrix.h"
+#include "planar/graph.h"
+
+namespace pardpp {
+
+struct KasteleynOrientation {
+  /// orientation[e]: true when edge e = (u, v) (u < v) is oriented u → v.
+  std::vector<bool> orientation;
+  /// The signed skew adjacency matrix.
+  Matrix matrix;
+};
+
+/// Computes a Pfaffian orientation of a connected planar graph. Throws on
+/// disconnected input (callers orient components separately) or when the
+/// coordinates do not describe an embedding.
+[[nodiscard]] KasteleynOrientation fkt_orientation(const PlanarGraph& g);
+
+}  // namespace pardpp

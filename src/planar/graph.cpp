@@ -1,0 +1,93 @@
+#include "planar/graph.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pardpp {
+
+void PlanarGraph::add_edge(int u, int v) {
+  check_arg(u != v, "PlanarGraph: self loop");
+  check_arg(u >= 0 && v >= 0 &&
+                static_cast<std::size_t>(u) < num_vertices() &&
+                static_cast<std::size_t>(v) < num_vertices(),
+            "PlanarGraph: vertex out of range");
+  check_arg(!has_edge(u, v), "PlanarGraph: duplicate edge");
+  adj_[static_cast<std::size_t>(u)].push_back(v);
+  adj_[static_cast<std::size_t>(v)].push_back(u);
+  edges_.emplace_back(std::min(u, v), std::max(u, v));
+}
+
+bool PlanarGraph::has_edge(int u, int v) const {
+  const auto& nbrs = adj_[static_cast<std::size_t>(u)];
+  return std::find(nbrs.begin(), nbrs.end(), v) != nbrs.end();
+}
+
+std::vector<int> PlanarGraph::rotation(int v) const {
+  std::vector<int> order(adj_[static_cast<std::size_t>(v)]);
+  const auto& origin = coord(v);
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    const auto& ca = coord(a);
+    const auto& cb = coord(b);
+    const double angle_a =
+        std::atan2(ca[1] - origin[1], ca[0] - origin[0]);
+    const double angle_b =
+        std::atan2(cb[1] - origin[1], cb[0] - origin[0]);
+    return angle_a < angle_b;
+  });
+  return order;
+}
+
+PlanarGraph PlanarGraph::induced(std::span<const int> keep) const {
+  std::vector<std::array<double, 2>> coords;
+  coords.reserve(keep.size());
+  std::vector<int> remap(num_vertices(), -1);
+  for (std::size_t i = 0; i < keep.size(); ++i) {
+    const int v = keep[i];
+    check_arg(v >= 0 && static_cast<std::size_t>(v) < num_vertices(),
+              "induced: vertex out of range");
+    check_arg(remap[static_cast<std::size_t>(v)] == -1,
+              "induced: duplicate vertex");
+    remap[static_cast<std::size_t>(v)] = static_cast<int>(i);
+    coords.push_back(coord(v));
+  }
+  PlanarGraph out(std::move(coords));
+  for (const auto& [u, v] : edges_) {
+    const int nu = remap[static_cast<std::size_t>(u)];
+    const int nv = remap[static_cast<std::size_t>(v)];
+    if (nu >= 0 && nv >= 0) out.add_edge(nu, nv);
+  }
+  return out;
+}
+
+std::vector<std::vector<int>> PlanarGraph::components() const {
+  return components_without({});
+}
+
+std::vector<std::vector<int>> PlanarGraph::components_without(
+    std::span<const int> removed) const {
+  std::vector<int> state(num_vertices(), 0);  // 0 unvisited, 1 removed, 2 done
+  for (const int v : removed) state[static_cast<std::size_t>(v)] = 1;
+  std::vector<std::vector<int>> comps;
+  std::vector<int> stack;
+  for (std::size_t root = 0; root < num_vertices(); ++root) {
+    if (state[root] != 0) continue;
+    comps.emplace_back();
+    stack.push_back(static_cast<int>(root));
+    state[root] = 2;
+    while (!stack.empty()) {
+      const int v = stack.back();
+      stack.pop_back();
+      comps.back().push_back(v);
+      for (const int u : adj_[static_cast<std::size_t>(v)]) {
+        if (state[static_cast<std::size_t>(u)] == 0) {
+          state[static_cast<std::size_t>(u)] = 2;
+          stack.push_back(u);
+        }
+      }
+    }
+    std::sort(comps.back().begin(), comps.back().end());
+  }
+  return comps;
+}
+
+}  // namespace pardpp

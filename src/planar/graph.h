@@ -1,0 +1,71 @@
+// Planar graphs with straight-line embeddings.
+//
+// The planar-matching pipeline (paper §6) needs a combinatorial embedding
+// (rotation system) to run FKT and coordinates to find balanced
+// separators. We store vertices with 2D coordinates and derive the
+// rotation system by sorting each vertex's neighbors by angle — exact for
+// any straight-line (Fáry) embedding, which covers the grid/geometric
+// workloads of the benchmarks (DESIGN.md §1 records this substitution for
+// general planarity testing).
+#pragma once
+
+#include <array>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "support/error.h"
+
+namespace pardpp {
+
+class PlanarGraph {
+ public:
+  PlanarGraph() = default;
+
+  /// Creates an empty graph on n vertices with the given coordinates.
+  explicit PlanarGraph(std::vector<std::array<double, 2>> coords)
+      : coords_(std::move(coords)), adj_(coords_.size()) {}
+
+  [[nodiscard]] std::size_t num_vertices() const { return coords_.size(); }
+  [[nodiscard]] std::size_t num_edges() const { return edges_.size(); }
+
+  [[nodiscard]] const std::array<double, 2>& coord(int v) const {
+    return coords_[static_cast<std::size_t>(v)];
+  }
+
+  /// Neighbors of v (insertion order; use rotation() for the embedding).
+  [[nodiscard]] std::span<const int> neighbors(int v) const {
+    return adj_[static_cast<std::size_t>(v)];
+  }
+
+  /// Edge list; each edge stored once with u < v.
+  [[nodiscard]] std::span<const std::pair<int, int>> edges() const {
+    return edges_;
+  }
+
+  void add_edge(int u, int v);
+
+  [[nodiscard]] bool has_edge(int u, int v) const;
+
+  /// Neighbors of v sorted counterclockwise by angle — the rotation
+  /// system of the straight-line embedding.
+  [[nodiscard]] std::vector<int> rotation(int v) const;
+
+  /// Induced subgraph on `keep` (original ids; the result's vertex i is
+  /// keep[i]).
+  [[nodiscard]] PlanarGraph induced(std::span<const int> keep) const;
+
+  /// Connected components as lists of vertex ids.
+  [[nodiscard]] std::vector<std::vector<int>> components() const;
+
+  /// Components of the graph after deleting `removed` vertices.
+  [[nodiscard]] std::vector<std::vector<int>> components_without(
+      std::span<const int> removed) const;
+
+ private:
+  std::vector<std::array<double, 2>> coords_;
+  std::vector<std::vector<int>> adj_;
+  std::vector<std::pair<int, int>> edges_;
+};
+
+}  // namespace pardpp

@@ -1,0 +1,208 @@
+#include "planar/grid.h"
+
+#include <cmath>
+
+namespace pardpp {
+
+PlanarGraph grid_graph(std::size_t rows, std::size_t cols) {
+  check_arg(rows >= 1 && cols >= 1, "grid_graph: empty grid");
+  std::vector<std::array<double, 2>> coords;
+  coords.reserve(rows * cols);
+  for (std::size_t r = 0; r < rows; ++r)
+    for (std::size_t c = 0; c < cols; ++c)
+      coords.push_back({static_cast<double>(c), static_cast<double>(r)});
+  PlanarGraph g(std::move(coords));
+  const auto id = [cols](std::size_t r, std::size_t c) {
+    return static_cast<int>(r * cols + c);
+  };
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) g.add_edge(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) g.add_edge(id(r, c), id(r + 1, c));
+    }
+  }
+  return g;
+}
+
+PlanarGraph diluted_grid_graph(std::size_t rows, std::size_t cols,
+                               double drop_prob, RandomStream& rng) {
+  check_arg(drop_prob >= 0.0 && drop_prob < 1.0,
+            "diluted_grid_graph: drop probability in [0,1)");
+  std::vector<std::array<double, 2>> coords;
+  coords.reserve(rows * cols);
+  for (std::size_t r = 0; r < rows; ++r)
+    for (std::size_t c = 0; c < cols; ++c)
+      coords.push_back({static_cast<double>(c), static_cast<double>(r)});
+  PlanarGraph g(std::move(coords));
+  const auto id = [cols](std::size_t r, std::size_t c) {
+    return static_cast<int>(r * cols + c);
+  };
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      // Keep a horizontal "spine" of matchable dominoes intact so a
+      // perfect matching always survives (columns paired 2 by 2).
+      if (c + 1 < cols) {
+        const bool spine = (c % 2 == 0);
+        if (spine || !rng.bernoulli(drop_prob))
+          g.add_edge(id(r, c), id(r, c + 1));
+      }
+      if (r + 1 < rows) {
+        if (!rng.bernoulli(drop_prob)) g.add_edge(id(r, c), id(r + 1, c));
+      }
+    }
+  }
+  return g;
+}
+
+PlanarGraph honeycomb_graph(std::size_t rows, std::size_t cols) {
+  check_arg(rows >= 1 && cols >= 1, "honeycomb_graph: empty lattice");
+  std::vector<std::array<double, 2>> coords;
+  coords.reserve(rows * cols);
+  for (std::size_t r = 0; r < rows; ++r)
+    for (std::size_t c = 0; c < cols; ++c)
+      coords.push_back({static_cast<double>(c), static_cast<double>(r)});
+  PlanarGraph g(std::move(coords));
+  const auto id = [cols](std::size_t r, std::size_t c) {
+    return static_cast<int>(r * cols + c);
+  };
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) g.add_edge(id(r, c), id(r, c + 1));
+      if (r + 1 < rows && (r + c) % 2 == 0)
+        g.add_edge(id(r, c), id(r + 1, c));
+    }
+  }
+  return g;
+}
+
+PlanarGraph hexagon_honeycomb_graph(std::size_t a, std::size_t b,
+                                    std::size_t c) {
+  check_arg(a >= 1 && b >= 1 && c >= 1, "hexagon_honeycomb_graph: empty");
+  // Hexagon polygon: walk a steps at 0 degrees, b at 60, c at 120, a at
+  // 180, b at 240, c at 300 on the triangular lattice (unit steps).
+  const double dirs[6][2] = {{1.0, 0.0},   {0.5, 0.866025403784438647},
+                             {-0.5, 0.866025403784438647},
+                             {-1.0, 0.0},  {-0.5, -0.866025403784438647},
+                             {0.5, -0.866025403784438647}};
+  const std::size_t steps[6] = {a, b, c, a, b, c};
+  std::vector<std::array<double, 2>> polygon;
+  double px = 0.0;
+  double py = 0.0;
+  for (int side = 0; side < 6; ++side) {
+    for (std::size_t s = 0; s < steps[static_cast<std::size_t>(side)]; ++s) {
+      polygon.push_back({px, py});
+      px += dirs[side][0];
+      py += dirs[side][1];
+    }
+  }
+  const auto inside = [&polygon](double x, double y) {
+    // Standard ray-casting point-in-polygon.
+    bool in = false;
+    for (std::size_t i = 0, j = polygon.size() - 1; i < polygon.size();
+         j = i++) {
+      const auto& pi = polygon[i];
+      const auto& pj = polygon[j];
+      if (((pi[1] > y) != (pj[1] > y)) &&
+          (x < (pj[0] - pi[0]) * (y - pi[1]) / (pj[1] - pi[1]) + pi[0])) {
+        in = !in;
+      }
+    }
+    return in;
+  };
+  // Enumerate unit up/down triangles of the triangular lattice over the
+  // hexagon's bounding range; keep those whose centroid lies inside.
+  // Lattice points: p(i, j) = i * (1,0) + j * (1/2, sqrt(3)/2).
+  const auto lattice = [](int i, int j) {
+    return std::array<double, 2>{static_cast<double>(i) + 0.5 * j,
+                                 0.866025403784438647 * j};
+  };
+  const int span = static_cast<int>(a + b + c) + 2;
+  struct Triangle {
+    std::array<double, 2> centroid;
+    std::array<std::pair<int, int>, 3> corners;
+  };
+  std::vector<Triangle> triangles;
+  for (int j = -span; j <= span; ++j) {
+    for (int i = -span; i <= span; ++i) {
+      // Up triangle: (i,j), (i+1,j), (i,j+1).
+      // Down triangle: (i+1,j), (i+1,j+1), (i,j+1).
+      const auto p00 = lattice(i, j);
+      const auto p10 = lattice(i + 1, j);
+      const auto p01 = lattice(i, j + 1);
+      const auto p11 = lattice(i + 1, j + 1);
+      const std::array<double, 2> up_centroid = {
+          (p00[0] + p10[0] + p01[0]) / 3.0, (p00[1] + p10[1] + p01[1]) / 3.0};
+      if (inside(up_centroid[0], up_centroid[1])) {
+        triangles.push_back(
+            {up_centroid, {{{i, j}, {i + 1, j}, {i, j + 1}}}});
+      }
+      const std::array<double, 2> down_centroid = {
+          (p10[0] + p11[0] + p01[0]) / 3.0, (p10[1] + p11[1] + p01[1]) / 3.0};
+      if (inside(down_centroid[0], down_centroid[1])) {
+        triangles.push_back(
+            {down_centroid, {{{i + 1, j}, {i + 1, j + 1}, {i, j + 1}}}});
+      }
+    }
+  }
+  std::vector<std::array<double, 2>> coords;
+  coords.reserve(triangles.size());
+  for (const auto& t : triangles) coords.push_back(t.centroid);
+  PlanarGraph g(std::move(coords));
+  // Edge when two triangles share two lattice corners.
+  for (std::size_t s = 0; s < triangles.size(); ++s) {
+    for (std::size_t t = s + 1; t < triangles.size(); ++t) {
+      int shared = 0;
+      for (const auto& cs : triangles[s].corners)
+        for (const auto& ct : triangles[t].corners) shared += (cs == ct);
+      if (shared == 2)
+        g.add_edge(static_cast<int>(s), static_cast<int>(t));
+    }
+  }
+  return g;
+}
+
+double log_macmahon_box(std::size_t a, std::size_t b, std::size_t c) {
+  double acc = 0.0;
+  for (std::size_t i = 1; i <= a; ++i)
+    for (std::size_t j = 1; j <= b; ++j)
+      for (std::size_t k = 1; k <= c; ++k)
+        acc += std::log(static_cast<double>(i + j + k - 1)) -
+               std::log(static_cast<double>(i + j + k - 2));
+  return acc;
+}
+
+PlanarGraph aztec_diamond_graph(std::size_t order) {
+  check_arg(order >= 1, "aztec_diamond_graph: order must be positive");
+  // Vertices = unit-square centers (x + 1/2, y + 1/2) with
+  // |x + 1/2| + |y + 1/2| <= order; adjacent squares share an edge.
+  const auto m = static_cast<int>(order);
+  std::vector<std::array<double, 2>> coords;
+  std::vector<std::pair<int, int>> cells;
+  for (int x = -m; x < m; ++x) {
+    for (int y = -m; y < m; ++y) {
+      const double cx = x + 0.5;
+      const double cy = y + 0.5;
+      if (std::abs(cx) + std::abs(cy) <= static_cast<double>(m)) {
+        cells.emplace_back(x, y);
+        coords.push_back({cx, cy});
+      }
+    }
+  }
+  PlanarGraph g(std::move(coords));
+  const auto find_cell = [&cells](int x, int y) -> int {
+    for (std::size_t i = 0; i < cells.size(); ++i)
+      if (cells[i].first == x && cells[i].second == y)
+        return static_cast<int>(i);
+    return -1;
+  };
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const auto [x, y] = cells[i];
+    const int right = find_cell(x + 1, y);
+    if (right >= 0) g.add_edge(static_cast<int>(i), right);
+    const int up = find_cell(x, y + 1);
+    if (up >= 0) g.add_edge(static_cast<int>(i), up);
+  }
+  return g;
+}
+
+}  // namespace pardpp

@@ -1,0 +1,46 @@
+// Planar graph factories: grids and related dimer-model workloads.
+#pragma once
+
+#include "planar/graph.h"
+#include "support/random.h"
+
+namespace pardpp {
+
+/// rows x cols grid graph (vertex (r, c) at index r * cols + c). Has a
+/// perfect matching iff rows * cols is even.
+[[nodiscard]] PlanarGraph grid_graph(std::size_t rows, std::size_t cols);
+
+/// Grid with each edge independently deleted with probability
+/// `drop_prob`, re-sampled until the graph still has a perfect matching
+/// checked by the caller (this factory only drops edges; it never
+/// disconnects parity). Used for non-translation-invariant dimer tests.
+[[nodiscard]] PlanarGraph diluted_grid_graph(std::size_t rows,
+                                             std::size_t cols,
+                                             double drop_prob,
+                                             RandomStream& rng);
+
+/// Aztec-diamond-like staircase region of order m (classic dimer
+/// workload; 2m(m+1) vertices, all matchable).
+[[nodiscard]] PlanarGraph aztec_diamond_graph(std::size_t order);
+
+/// Honeycomb lattice in brick-wall form: the rows x cols grid with the
+/// vertical edge below (r, c) kept only when r + c is even. Rectangular
+/// patches of the brick wall have exactly *one* perfect matching (the
+/// boundary forces every domino) — a useful degenerate workload.
+[[nodiscard]] PlanarGraph honeycomb_graph(std::size_t rows, std::size_t cols);
+
+/// The honeycomb patch dual to the a x b x c hexagon of the triangular
+/// lattice: vertices are the unit triangles inside the hexagon, edges join
+/// triangles sharing a side. Perfect matchings of this graph are exactly
+/// the lozenge tilings of the hexagon, counted by MacMahon's box formula
+/// prod_{i<=a} prod_{j<=b} prod_{k<=c} (i+j+k-1)/(i+j+k-2).
+[[nodiscard]] PlanarGraph hexagon_honeycomb_graph(std::size_t a,
+                                                  std::size_t b,
+                                                  std::size_t c);
+
+/// MacMahon's box formula: the number of lozenge tilings of the a x b x c
+/// hexagon, as a log (exact products, stable for large sides).
+[[nodiscard]] double log_macmahon_box(std::size_t a, std::size_t b,
+                                      std::size_t c);
+
+}  // namespace pardpp

@@ -1,0 +1,22 @@
+#include "planar/matching_count.h"
+
+#include "linalg/pfaffian.h"
+#include "support/logsum.h"
+
+namespace pardpp {
+
+MatchingCounter::MatchingCounter(const PlanarGraph& g)
+    : graph_(&g), orientation_(fkt_orientation(g)) {}
+
+double MatchingCounter::log_count() const {
+  const auto pf = pfaffian_log(orientation_.matrix);
+  return pf.sign == 0 ? kNegInf : pf.log_abs;
+}
+
+double MatchingCounter::log_count_alive(std::span<const int> alive) const {
+  if (alive.empty()) return 0.0;  // the empty matching
+  const auto pf = pfaffian_log(orientation_.matrix.principal(alive));
+  return pf.sign == 0 ? kNegInf : pf.log_abs;
+}
+
+}  // namespace pardpp

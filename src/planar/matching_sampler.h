@@ -1,0 +1,48 @@
+// Samplers for uniformly random perfect matchings of planar graphs.
+//
+// * sample_matching_sequential: the classic depth-Theta(n/2) reduction —
+//   match the lowest unmatched vertex by drawing its partner from the
+//   conditional edge marginals #PM(G - {v,u}) / #PM(G - v matched), repeat.
+// * sample_matching_separator (Theorem 11): find an O(sqrt(n)) balanced
+//   separator, match its vertices sequentially, then recurse *in parallel*
+//   on the disconnected components, giving depth
+//   D(n) = O(sqrt(n)) + D(2n/3) = O(sqrt(n)).
+//
+// Both draw partners from Pfaffian counts restricted to the currently
+// alive vertices; per-component restriction is sound because every removed
+// vertex set is a union of matched (adjacent) pairs plus whole even-sized
+// components (see matching_count.h).
+#pragma once
+
+#include "parallel/thread_pool.h"
+#include "planar/enumerate.h"
+#include "planar/graph.h"
+#include "planar/matching_count.h"
+#include "sampling/diagnostics.h"
+#include "support/random.h"
+
+namespace pardpp {
+
+struct MatchingResult {
+  Matching matching;
+  SampleDiagnostics diag;
+};
+
+/// Exact uniform perfect matching, sequential baseline. Throws
+/// SamplingFailure when the graph has no perfect matching.
+[[nodiscard]] MatchingResult sample_matching_sequential(
+    const PlanarGraph& g, RandomStream& rng, PramLedger* ledger = nullptr);
+
+struct SeparatorSamplerOptions {
+  /// Components at or below this size are finished sequentially.
+  std::size_t base_cutoff = 6;
+  /// Run sibling components on the shared thread pool.
+  bool parallel_components = true;
+};
+
+/// Exact uniform perfect matching via separator recursion (Theorem 11).
+[[nodiscard]] MatchingResult sample_matching_separator(
+    const PlanarGraph& g, RandomStream& rng, PramLedger* ledger = nullptr,
+    const SeparatorSamplerOptions& options = {});
+
+}  // namespace pardpp

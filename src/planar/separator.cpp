@@ -1,0 +1,141 @@
+#include "planar/separator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+namespace pardpp {
+
+namespace {
+
+SeparatorResult finish(const PlanarGraph& g, std::vector<int> separator) {
+  SeparatorResult out;
+  out.components = g.components_without(separator);
+  out.separator = std::move(separator);
+  std::size_t largest = 0;
+  for (const auto& comp : out.components)
+    largest = std::max(largest, comp.size());
+  out.balance = g.num_vertices() == 0
+                    ? 0.0
+                    : static_cast<double>(largest) /
+                          static_cast<double>(g.num_vertices());
+  return out;
+}
+
+}  // namespace
+
+SeparatorResult bfs_level_separator(const PlanarGraph& g, int root) {
+  const std::size_t n = g.num_vertices();
+  if (n <= 2) return finish(g, {});
+  std::vector<int> level(n, -1);
+  std::queue<int> queue;
+  queue.push(root);
+  level[static_cast<std::size_t>(root)] = 0;
+  int max_level = 0;
+  while (!queue.empty()) {
+    const int v = queue.front();
+    queue.pop();
+    for (const int u : g.neighbors(v)) {
+      if (level[static_cast<std::size_t>(u)] >= 0) continue;
+      level[static_cast<std::size_t>(u)] =
+          level[static_cast<std::size_t>(v)] + 1;
+      max_level = std::max(max_level, level[static_cast<std::size_t>(u)]);
+      queue.push(u);
+    }
+  }
+  // (Vertices unreachable from root keep level -1; they form their own
+  // components and never join the separator.)
+  std::vector<std::size_t> level_sizes(static_cast<std::size_t>(max_level) + 1,
+                                       0);
+  for (const int lv : level)
+    if (lv >= 0) ++level_sizes[static_cast<std::size_t>(lv)];
+  // Choose the smallest level whose removal leaves both sides <= 2n/3.
+  const double budget = 2.0 * static_cast<double>(n) / 3.0;
+  std::size_t best_level = level_sizes.size();
+  std::size_t best_size = n + 1;
+  std::size_t before = 0;
+  for (std::size_t lv = 0; lv < level_sizes.size(); ++lv) {
+    const std::size_t here = level_sizes[lv];
+    const std::size_t after = n - before - here;
+    if (static_cast<double>(before) <= budget &&
+        static_cast<double>(after) <= budget && here < best_size) {
+      best_size = here;
+      best_level = lv;
+    }
+    before += here;
+  }
+  if (best_level == level_sizes.size()) {
+    // No single balancing level: fall back to the median level.
+    std::size_t cumulative = 0;
+    for (std::size_t lv = 0; lv < level_sizes.size(); ++lv) {
+      cumulative += level_sizes[lv];
+      if (cumulative * 2 >= n) {
+        best_level = lv;
+        break;
+      }
+    }
+  }
+  std::vector<int> separator;
+  for (std::size_t v = 0; v < n; ++v)
+    if (level[v] == static_cast<int>(best_level))
+      separator.push_back(static_cast<int>(v));
+  return finish(g, std::move(separator));
+}
+
+SeparatorResult geometric_separator(const PlanarGraph& g) {
+  const std::size_t n = g.num_vertices();
+  if (n <= 2) return finish(g, {});
+  // Pick the axis with the wider extent.
+  double min_xy[2] = {1e300, 1e300};
+  double max_xy[2] = {-1e300, -1e300};
+  for (std::size_t v = 0; v < n; ++v) {
+    for (int axis = 0; axis < 2; ++axis) {
+      min_xy[axis] = std::min(min_xy[axis], g.coord(static_cast<int>(v))[axis]);
+      max_xy[axis] = std::max(max_xy[axis], g.coord(static_cast<int>(v))[axis]);
+    }
+  }
+  const int axis = (max_xy[0] - min_xy[0] >= max_xy[1] - min_xy[1]) ? 0 : 1;
+  std::vector<double> values(n);
+  for (std::size_t v = 0; v < n; ++v)
+    values[v] = g.coord(static_cast<int>(v))[axis];
+  std::vector<double> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  const double median = sorted[n / 2];
+  // Separator: vertices at the median coordinate plus every vertex whose
+  // edge crosses the median line.
+  std::vector<bool> in_sep(n, false);
+  for (std::size_t v = 0; v < n; ++v)
+    if (values[v] == median) in_sep[v] = true;
+  for (const auto& [u, v] : g.edges()) {
+    const double a = values[static_cast<std::size_t>(u)];
+    const double b = values[static_cast<std::size_t>(v)];
+    if ((a < median && b > median) || (a > median && b < median)) {
+      // Put the smaller-coordinate endpoint into the separator.
+      in_sep[static_cast<std::size_t>(a < b ? u : v)] = true;
+    }
+  }
+  std::vector<int> separator;
+  for (std::size_t v = 0; v < n; ++v)
+    if (in_sep[v]) separator.push_back(static_cast<int>(v));
+  return finish(g, std::move(separator));
+}
+
+SeparatorResult find_separator(const PlanarGraph& g) {
+  if (g.num_vertices() <= 2) return finish(g, {});
+  auto bfs = bfs_level_separator(g);
+  auto geo = geometric_separator(g);
+  const auto acceptable = [](const SeparatorResult& s) {
+    return s.balance <= 2.0 / 3.0 + 1e-9;
+  };
+  if (acceptable(bfs) && acceptable(geo)) {
+    return bfs.separator.size() <= geo.separator.size() ? std::move(bfs)
+                                                        : std::move(geo);
+  }
+  if (acceptable(bfs)) return bfs;
+  if (acceptable(geo)) return geo;
+  // Neither balanced: return the better-balanced one (the sampler still
+  // terminates; only the depth bound degrades).
+  return bfs.balance <= geo.balance ? std::move(bfs) : std::move(geo);
+}
+
+}  // namespace pardpp

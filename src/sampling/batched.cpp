@@ -1,0 +1,126 @@
+#include "sampling/batched.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/combinatorics.h"
+#include "support/error.h"
+#include "support/logsum.h"
+
+namespace pardpp {
+
+namespace detail {
+
+std::optional<std::vector<int>> run_batch_round(
+    const CountingOracle& mu, std::span<const double> marginals,
+    const BatchRound& config, RandomStream& rng, SampleDiagnostics& diag) {
+  const std::size_t k = mu.sample_size();
+  const std::size_t t = config.batch;
+  check_arg(t >= 1 && t <= k, "run_batch_round: invalid batch size");
+  // log of k (k-1) ... (k-t+1) = log(C(k,t) t!).
+  double log_falling = 0.0;
+  for (std::size_t r = 0; r < t; ++r)
+    log_falling += std::log(static_cast<double>(k - r));
+  const double log_k = std::log(static_cast<double>(k));
+
+  std::vector<double> weights(marginals.begin(), marginals.end());
+  std::vector<int> batch(t);
+  std::vector<bool> seen(mu.ground_size(), false);
+  for (std::size_t trial = 0; trial < config.machines; ++trial) {
+    ++diag.proposals;
+    // t i.i.d. draws from p / k.
+    bool duplicate = false;
+    double log_proposal = 0.0;
+    for (std::size_t r = 0; r < t; ++r) {
+      const auto pick = static_cast<int>(rng.categorical(weights));
+      batch[r] = pick;
+      log_proposal += std::log(weights[static_cast<std::size_t>(pick)]) - log_k;
+      if (seen[static_cast<std::size_t>(pick)]) duplicate = true;
+      seen[static_cast<std::size_t>(pick)] = true;
+    }
+    for (const int b : batch) seen[static_cast<std::size_t>(b)] = false;
+    if (duplicate) {
+      // Two copies of one element: target mass zero, certain rejection.
+      ++diag.duplicate_rejects;
+      continue;
+    }
+    const double log_joint = mu.log_joint_marginal(batch);
+    ++diag.oracle_calls;
+    if (log_joint == kNegInf) {
+      ++diag.duplicate_rejects;
+      continue;
+    }
+    const double log_ratio = log_joint - log_falling - log_proposal;
+    if (log_ratio > config.log_cap + 1e-9) {
+      // Outside Omega (Algorithm 3); for Lemma 27-compliant targets this
+      // is a numerical impossibility and the tests assert it stays zero.
+      ++diag.ratio_overflows;
+      continue;
+    }
+    if (rng.bernoulli(std::exp(log_ratio - config.log_cap))) {
+      ++diag.accepted_batches;
+      return batch;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace detail
+
+SampleResult sample_batched(const CountingOracle& mu, RandomStream& rng,
+                            PramLedger* ledger,
+                            const BatchedOptions& options) {
+  SampleResult result;
+  IndexTracker tracker(mu.ground_size());
+  std::unique_ptr<CountingOracle> current = mu.clone();
+  const double round_bound =
+      2.0 * std::sqrt(static_cast<double>(mu.sample_size())) + 2.0;
+  const double delta_round =
+      std::max(options.failure_prob / round_bound, 1e-12);
+
+  while (current->sample_size() > 0) {
+    const std::size_t k = current->sample_size();
+    const std::size_t m = current->ground_size();
+    std::size_t t = options.max_batch == 0
+                        ? static_cast<std::size_t>(
+                              std::ceil(std::sqrt(static_cast<double>(k))))
+                        : options.max_batch;
+    t = std::min(t, k);
+
+    // One parallel round of counting queries: all marginals.
+    const std::vector<double> p = current->marginals();
+    charge_round(ledger, m, m);
+    result.diag.oracle_calls += m;
+
+    detail::BatchRound config;
+    config.batch = t;
+    config.log_cap = static_cast<double>(t) * static_cast<double>(t) /
+                         static_cast<double>(k) +
+                     options.extra_log_cap;
+    // Prop. 25: C log(1/delta') machines boost acceptance to 1 - delta'.
+    const double machines_needed =
+        std::exp(config.log_cap) * std::log(1.0 / delta_round) * 2.0 + 8.0;
+    config.machines = static_cast<std::size_t>(std::min(
+        machines_needed, static_cast<double>(options.machine_cap)));
+
+    auto batch =
+        detail::run_batch_round(*current, p, config, rng, result.diag);
+    // The proposal batch runs as one parallel round of `machines`
+    // rejection evaluations (one counting query each).
+    charge_round(ledger, config.machines, config.machines);
+    result.diag.rounds += 1;
+    if (!batch.has_value()) {
+      throw SamplingFailure(
+          "sample_batched: no proposal accepted within the machine budget "
+          "(round failure probability exceeded)");
+    }
+    for (const int b : *batch) result.items.push_back(tracker.original(b));
+    current = current->condition(*batch);
+    tracker.remove(std::move(*batch));
+  }
+  std::sort(result.items.begin(), result.items.end());
+  if (ledger != nullptr) result.diag.pram = ledger->stats();
+  return result;
+}
+
+}  // namespace pardpp

@@ -1,0 +1,35 @@
+// Result/diagnostics structs shared by all samplers.
+#pragma once
+
+#include <vector>
+
+#include "parallel/pram.h"
+
+namespace pardpp {
+
+/// Counters describing one sampler execution.
+struct SampleDiagnostics {
+  std::size_t rounds = 0;             ///< batch rounds executed
+  std::size_t proposals = 0;          ///< rejection proposals evaluated
+  std::size_t accepted_batches = 0;   ///< proposals that were accepted
+  std::size_t duplicate_rejects = 0;  ///< proposals containing a repeat
+  std::size_t ratio_overflows = 0;    ///< proposals with ratio above the cap
+                                      ///< (Algorithm 3 "bad events")
+  std::size_t oracle_calls = 0;       ///< counting-oracle queries issued
+  PramStats pram;                     ///< PRAM depth/work/machines ledger
+
+  /// Overall acceptance frequency of the rejection stages.
+  [[nodiscard]] double acceptance_rate() const {
+    return proposals == 0 ? 1.0
+                          : static_cast<double>(accepted_batches) /
+                                static_cast<double>(proposals);
+  }
+};
+
+/// A sample (original ground-set ids, sorted) plus its diagnostics.
+struct SampleResult {
+  std::vector<int> items;
+  SampleDiagnostics diag;
+};
+
+}  // namespace pardpp

@@ -1,0 +1,43 @@
+#include "sampling/rejection.h"
+
+#include <cmath>
+#include <vector>
+
+#include "support/error.h"
+#include "support/logsum.h"
+
+namespace pardpp {
+
+RejectionOutcome rejection_sample_finite(std::span<const double> log_target,
+                                         std::span<const double> log_proposal,
+                                         double log_cap, std::size_t machines,
+                                         RandomStream& rng) {
+  check_arg(log_target.size() == log_proposal.size(),
+            "rejection_sample_finite: domain size mismatch");
+  const double log_zt = logsumexp(log_target);
+  const double log_zp = logsumexp(log_proposal);
+  check_arg(log_zt != kNegInf && log_zp != kNegInf,
+            "rejection_sample_finite: degenerate masses");
+  std::vector<double> proposal_probs(log_proposal.size());
+  for (std::size_t i = 0; i < proposal_probs.size(); ++i)
+    proposal_probs[i] = std::exp(log_proposal[i] - log_zp);
+
+  RejectionOutcome out;
+  for (std::size_t trial = 0; trial < machines; ++trial) {
+    ++out.proposals_used;
+    const std::size_t i = rng.categorical(proposal_probs);
+    const double log_ratio =
+        (log_target[i] - log_zt) - (log_proposal[i] - log_zp);
+    if (log_ratio > log_cap + 1e-12) {
+      ++out.overflows;  // outside Omega: Algorithm 3 rejects outright
+      continue;
+    }
+    if (rng.bernoulli(std::exp(log_ratio - log_cap))) {
+      out.value = i;
+      return out;
+    }
+  }
+  return out;
+}
+
+}  // namespace pardpp

@@ -1,0 +1,30 @@
+#include "sampling/sequential.h"
+
+#include <algorithm>
+
+namespace pardpp {
+
+SampleResult sample_sequential(const CountingOracle& mu, RandomStream& rng,
+                               PramLedger* ledger) {
+  SampleResult result;
+  IndexTracker tracker(mu.ground_size());
+  std::unique_ptr<CountingOracle> current = mu.clone();
+  while (current->sample_size() > 0) {
+    const std::size_t m = current->ground_size();
+    // One parallel round: m counting queries evaluate all marginals.
+    const std::vector<double> p = current->marginals();
+    charge_round(ledger, m, m);
+    result.diag.rounds += 1;
+    result.diag.oracle_calls += m;
+    const int pick = static_cast<int>(rng.categorical(p));
+    result.items.push_back(tracker.original(pick));
+    const std::vector<int> batch = {pick};
+    current = current->condition(batch);
+    tracker.remove(batch);
+  }
+  std::sort(result.items.begin(), result.items.end());
+  if (ledger != nullptr) result.diag.pram = ledger->stats();
+  return result;
+}
+
+}  // namespace pardpp

@@ -1,0 +1,21 @@
+// The classic sequential sampling-to-counting reduction [JVV86] (paper §1).
+//
+// Pick the k elements one at a time: in each round compute all conditional
+// marginals (one parallel round of counting queries), draw one element
+// proportionally, condition, repeat. Depth Theta(k) — the baseline every
+// parallel sampler in this library is measured against.
+#pragma once
+
+#include "distributions/oracle.h"
+#include "parallel/pram.h"
+#include "sampling/diagnostics.h"
+#include "support/random.h"
+
+namespace pardpp {
+
+/// Exact sample from the oracle's distribution; depth = k rounds.
+[[nodiscard]] SampleResult sample_sequential(const CountingOracle& mu,
+                                             RandomStream& rng,
+                                             PramLedger* ledger = nullptr);
+
+}  // namespace pardpp

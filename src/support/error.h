@@ -1,0 +1,81 @@
+// Error handling primitives shared across the pardpp library.
+//
+// The library reports contract violations and numerical failures through
+// exceptions derived from `pardpp::Error`, so callers can distinguish
+// library failures from standard-library ones. Hot inner loops use plain
+// `assert`; the `check*` helpers below are for API boundaries, where the
+// cost of a branch is negligible relative to the linear algebra behind it.
+#pragma once
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace pardpp {
+
+/// Base class of all exceptions thrown by the library.
+class Error : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Thrown when a caller violates a documented precondition.
+class InvalidArgument : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Thrown when a numerical routine cannot deliver a trustworthy result
+/// (singular pivot, non-PSD input to a Cholesky factorization, ...).
+class NumericalError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Thrown when a randomized algorithm exhausts its failure budget
+/// (e.g. no rejection-sampling proposal accepted within the machine bound).
+class SamplingFailure : public Error {
+ public:
+  using Error::Error;
+};
+
+namespace detail {
+[[noreturn]] inline void throw_with_location(std::string_view what,
+                                             std::string_view message,
+                                             const std::source_location& loc) {
+  std::string full;
+  full.reserve(message.size() + 64);
+  full.append(loc.file_name());
+  full.push_back(':');
+  full.append(std::to_string(loc.line()));
+  full.append(": ");
+  full.append(message);
+  if (what == "argument") throw InvalidArgument(full);
+  if (what == "numeric") throw NumericalError(full);
+  throw Error(full);
+}
+}  // namespace detail
+
+/// Validates an argument precondition; throws InvalidArgument on failure.
+inline void check_arg(bool ok, std::string_view message,
+                      const std::source_location loc =
+                          std::source_location::current()) {
+  if (!ok) detail::throw_with_location("argument", message, loc);
+}
+
+/// Validates a numerical invariant; throws NumericalError on failure.
+inline void check_numeric(bool ok, std::string_view message,
+                          const std::source_location loc =
+                              std::source_location::current()) {
+  if (!ok) detail::throw_with_location("numeric", message, loc);
+}
+
+/// Validates a generic invariant; throws Error on failure.
+inline void check(bool ok, std::string_view message,
+                  const std::source_location loc =
+                      std::source_location::current()) {
+  if (!ok) detail::throw_with_location("invariant", message, loc);
+}
+
+}  // namespace pardpp

@@ -1,0 +1,57 @@
+// Log-domain arithmetic.
+//
+// Counting oracles for determinantal distributions produce quantities that
+// overflow `double` long before the interesting problem sizes are reached
+// (partition functions are products of n eigenvalue factors). Every count,
+// probability mass and acceptance ratio in pardpp is therefore carried as a
+// natural logarithm; this header provides the small set of primitives used
+// to combine them.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <span>
+
+namespace pardpp {
+
+/// log(0): the additive identity of log-domain accumulation.
+inline constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+
+/// Returns log(exp(a) + exp(b)) without leaving the log domain.
+[[nodiscard]] inline double log_add(double a, double b) noexcept {
+  if (a == kNegInf) return b;
+  if (b == kNegInf) return a;
+  const double hi = std::max(a, b);
+  const double lo = std::min(a, b);
+  return hi + std::log1p(std::exp(lo - hi));
+}
+
+/// Returns log(exp(a) - exp(b)); requires a >= b. Returns kNegInf when the
+/// difference underflows (a == b up to rounding).
+[[nodiscard]] inline double log_sub(double a, double b) noexcept {
+  if (b == kNegInf) return a;
+  if (a <= b) return kNegInf;
+  return a + std::log1p(-std::exp(b - a));
+}
+
+/// Returns log(sum_i exp(values[i])) with a single pass for the maximum and
+/// one for the sum, the standard numerically stable evaluation.
+[[nodiscard]] inline double logsumexp(std::span<const double> values) noexcept {
+  double hi = kNegInf;
+  for (const double v : values) hi = std::max(hi, v);
+  if (hi == kNegInf) return kNegInf;
+  double acc = 0.0;
+  for (const double v : values) acc += std::exp(v - hi);
+  return hi + std::log(acc);
+}
+
+/// exp with clamping: values above `cap` saturate instead of overflowing.
+[[nodiscard]] inline double exp_clamped(double log_value,
+                                        double cap = 1e300) noexcept {
+  if (log_value == kNegInf) return 0.0;
+  const double v = std::exp(std::min(log_value, 690.0));
+  return std::min(v, cap);
+}
+
+}  // namespace pardpp

@@ -1,0 +1,155 @@
+// Deterministic, splittable random streams.
+//
+// Every sampler in pardpp draws randomness from an explicit `RandomStream`
+// so that (a) experiments are reproducible from a single seed, and (b)
+// parallel branches (rejection-sampling proposal batches, planar-separator
+// component recursions) can be given statistically independent streams via
+// `split()` without any shared mutable state between threads (Core
+// Guidelines CP.2/CP.3: no data races, minimal sharing).
+//
+// The generator is xoshiro256++ seeded through splitmix64, the combination
+// recommended by its authors for exactly this splitting pattern.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "support/error.h"
+
+namespace pardpp {
+
+namespace detail {
+/// splitmix64 step: used for seeding and stream splitting.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+}  // namespace detail
+
+/// xoshiro256++ pseudo-random stream with explicit seeding and splitting.
+class RandomStream {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Constructs a stream from a 64-bit seed (expanded via splitmix64).
+  explicit RandomStream(std::uint64_t seed = 0x1234567890abcdefULL) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = detail::splitmix64(sm);
+  }
+
+  /// Returns the next 64 uniformly random bits.
+  [[nodiscard]] std::uint64_t next_u64() noexcept {
+    const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  // UniformRandomBitGenerator interface (usable with <random> adaptors).
+  [[nodiscard]] static constexpr result_type min() noexcept { return 0; }
+  [[nodiscard]] static constexpr result_type max() noexcept {
+    return ~std::uint64_t{0};
+  }
+  result_type operator()() noexcept { return next_u64(); }
+
+  /// Uniform double in [0, 1) with 53 random bits.
+  [[nodiscard]] double uniform() noexcept {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  [[nodiscard]] double uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * uniform();
+  }
+
+  /// Uniform integer in [0, bound) using Lemire's rejection method.
+  [[nodiscard]] std::uint64_t uniform_index(std::uint64_t bound) noexcept {
+    // Unbiased multiply-shift; the rejection loop terminates almost surely.
+    __uint128_t m = static_cast<__uint128_t>(next_u64()) * bound;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < bound) {
+      const std::uint64_t threshold = (0 - bound) % bound;
+      while (lo < threshold) {
+        m = static_cast<__uint128_t>(next_u64()) * bound;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Bernoulli draw with success probability p (clamped to [0,1]).
+  [[nodiscard]] bool bernoulli(double p) noexcept { return uniform() < p; }
+
+  /// Standard normal via the Marsaglia polar method.
+  [[nodiscard]] double normal() noexcept {
+    if (have_spare_) {
+      have_spare_ = false;
+      return spare_;
+    }
+    double u = 0.0, v = 0.0, s = 0.0;
+    do {
+      u = uniform(-1.0, 1.0);
+      v = uniform(-1.0, 1.0);
+      s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const double scale = std::sqrt(-2.0 * std::log(s) / s);
+    spare_ = v * scale;
+    have_spare_ = true;
+    return u * scale;
+  }
+
+  /// Samples an index with probability proportional to `weights`
+  /// (nonnegative, not all zero).
+  [[nodiscard]] std::size_t categorical(std::span<const double> weights) {
+    double total = 0.0;
+    for (const double w : weights) {
+      check_arg(w >= 0.0, "categorical: negative weight");
+      total += w;
+    }
+    check_arg(total > 0.0, "categorical: all weights zero");
+    double target = uniform() * total;
+    for (std::size_t i = 0; i + 1 < weights.size(); ++i) {
+      target -= weights[i];
+      if (target < 0.0) return i;
+    }
+    return weights.size() - 1;
+  }
+
+  /// Fisher-Yates shuffle of an index container.
+  template <typename T>
+  void shuffle(std::vector<T>& items) noexcept {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      const auto j = static_cast<std::size_t>(uniform_index(i));
+      std::swap(items[i - 1], items[j]);
+    }
+  }
+
+  /// Derives a statistically independent child stream. Mutates this stream
+  /// (consumes one draw) so repeated splits yield distinct children.
+  [[nodiscard]] RandomStream split() noexcept {
+    return RandomStream(next_u64() ^ 0x9e3779b97f4a7c15ULL);
+  }
+
+ private:
+  [[nodiscard]] static constexpr std::uint64_t rotl(std::uint64_t x,
+                                                    int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+  double spare_ = 0.0;
+  bool have_spare_ = false;
+};
+
+}  // namespace pardpp

@@ -1,0 +1,224 @@
+// Tests for the symmetric eigensolvers (tred2/tql2 vs Jacobi), elementary
+// symmetric polynomials, and characteristic-polynomial extraction.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/charpoly.h"
+#include "linalg/esp.h"
+#include "linalg/factory.h"
+#include "linalg/lu.h"
+#include "linalg/symmetric_eigen.h"
+#include "support/combinatorics.h"
+#include "support/logsum.h"
+#include "support/random.h"
+
+namespace pardpp {
+namespace {
+
+class EigenCrossCheck : public ::testing::TestWithParam<std::tuple<int, int>> {
+};
+
+TEST_P(EigenCrossCheck, QlMatchesJacobi) {
+  const auto [n, seed] = GetParam();
+  RandomStream rng(static_cast<std::uint64_t>(seed) * 1000 + 7);
+  const Matrix a = random_psd(static_cast<std::size_t>(n),
+                              static_cast<std::size_t>(std::max(1, n / 2)),
+                              rng, 1e-4);
+  const auto ql = symmetric_eigen(a);
+  const auto jac = jacobi_eigen(a);
+  for (int i = 0; i < n; ++i) {
+    EXPECT_NEAR(ql.values[static_cast<std::size_t>(i)],
+                jac.values[static_cast<std::size_t>(i)], 1e-8)
+        << "eigenvalue " << i;
+  }
+  // Eigenvalue-only path agrees too.
+  const auto only = symmetric_eigenvalues(a);
+  for (int i = 0; i < n; ++i)
+    EXPECT_NEAR(only[static_cast<std::size_t>(i)],
+                ql.values[static_cast<std::size_t>(i)], 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(SizesAndSeeds, EigenCrossCheck,
+                         ::testing::Combine(::testing::Values(1, 2, 3, 6, 11,
+                                                              20, 33),
+                                            ::testing::Values(1, 2, 3)));
+
+TEST(Eigen, Reconstruction) {
+  RandomStream rng(41);
+  const Matrix a = random_psd(8, 8, rng);
+  const auto eig = symmetric_eigen(a);
+  Matrix recon(8, 8);
+  for (std::size_t i = 0; i < 8; ++i)
+    for (std::size_t j = 0; j < 8; ++j) {
+      double acc = 0.0;
+      for (std::size_t m = 0; m < 8; ++m)
+        acc += eig.vectors(i, m) * eig.values[m] * eig.vectors(j, m);
+      recon(i, j) = acc;
+    }
+  for (std::size_t i = 0; i < 8; ++i)
+    for (std::size_t j = 0; j < 8; ++j)
+      EXPECT_NEAR(recon(i, j), a(i, j), 1e-9);
+}
+
+TEST(Eigen, VectorsOrthonormal) {
+  RandomStream rng(42);
+  const Matrix a = random_psd(7, 7, rng);
+  const auto eig = symmetric_eigen(a);
+  for (std::size_t p = 0; p < 7; ++p) {
+    for (std::size_t q = 0; q < 7; ++q) {
+      double dot = 0.0;
+      for (std::size_t i = 0; i < 7; ++i)
+        dot += eig.vectors(i, p) * eig.vectors(i, q);
+      EXPECT_NEAR(dot, p == q ? 1.0 : 0.0, 1e-9);
+    }
+  }
+}
+
+TEST(Eigen, KnownSpectrum) {
+  // diag(1, 2, 3) in a rotated basis.
+  RandomStream rng(43);
+  const std::vector<double> spectrum = {1.0, 2.0, 3.0};
+  const Matrix a = kernel_with_spectrum(spectrum, rng);
+  const auto eig = symmetric_eigen(a);
+  EXPECT_NEAR(eig.values[0], 1.0, 1e-9);
+  EXPECT_NEAR(eig.values[1], 2.0, 1e-9);
+  EXPECT_NEAR(eig.values[2], 3.0, 1e-9);
+  EXPECT_NEAR(spectral_norm_symmetric(a), 3.0, 1e-9);
+}
+
+TEST(Eigen, HandlesZeroAndOneByOne) {
+  const auto empty = symmetric_eigen(Matrix(0, 0));
+  EXPECT_TRUE(empty.values.empty());
+  Matrix one(1, 1);
+  one(0, 0) = 5.0;
+  const auto single = symmetric_eigen(one);
+  EXPECT_DOUBLE_EQ(single.values[0], 5.0);
+}
+
+// ---- Elementary symmetric polynomials ----
+
+double brute_esp(std::span<const double> lambda, int j) {
+  double total = 0.0;
+  for_each_subset(static_cast<int>(lambda.size()), j,
+                  [&](std::span<const int> subset) {
+                    double prod = 1.0;
+                    for (const int i : subset)
+                      prod *= lambda[static_cast<std::size_t>(i)];
+                    total += prod;
+                  });
+  return total;
+}
+
+class EspTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(EspTest, MatchesBruteForce) {
+  RandomStream rng(static_cast<std::uint64_t>(GetParam()));
+  std::vector<double> lambda(7);
+  for (auto& v : lambda) v = rng.uniform() * 3.0;
+  lambda[2] = 0.0;  // exercise zero handling
+  const auto log_e = log_esp(lambda, 7);
+  for (int j = 0; j <= 7; ++j) {
+    const double brute = brute_esp(lambda, j);
+    EXPECT_NEAR(std::exp(log_e[static_cast<std::size_t>(j)]), brute,
+                1e-9 * std::max(1.0, brute))
+        << "e_" << j;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EspTest, ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(Esp, LeaveOneOutIdentity) {
+  // e_j(lambda) = e_j(lambda \ m) + lambda_m e_{j-1}(lambda \ m).
+  RandomStream rng(51);
+  std::vector<double> lambda(9);
+  for (auto& v : lambda) v = rng.uniform() * 2.0;
+  const LogEspTable table(lambda, 5);
+  for (std::size_t m = 0; m < 9; ++m) {
+    for (std::size_t j = 1; j <= 5; ++j) {
+      const double lhs = std::exp(table.log_e(j));
+      const double rhs =
+          std::exp(table.log_e_without(m, j)) +
+          lambda[m] * std::exp(table.log_e_without(m, j - 1));
+      EXPECT_NEAR(lhs, rhs, 1e-9 * std::max(1.0, lhs));
+    }
+  }
+}
+
+TEST(Esp, LargeValuesStayInLogDomain) {
+  // 300 eigenvalues of size ~1e10: e_150 overflows double massively but
+  // must be finite in log domain.
+  std::vector<double> lambda(300, 1e10);
+  const auto log_e = log_esp(lambda, 150);
+  EXPECT_TRUE(std::isfinite(log_e[150]));
+  // e_150 = C(300,150) * 1e1500.
+  EXPECT_NEAR(log_e[150], log_binomial(300, 150) + 150.0 * std::log(1e10),
+              1e-6 * log_e[150]);
+}
+
+// ---- Characteristic polynomial ----
+
+double brute_minor_sum(const Matrix& m, int j) {
+  double total = 0.0;
+  for_each_subset(static_cast<int>(m.rows()), j,
+                  [&](std::span<const int> subset) {
+                    total += det_small(m.principal(subset));
+                  });
+  return total;
+}
+
+class CharPolyTest : public ::testing::TestWithParam<std::tuple<int, bool>> {};
+
+TEST_P(CharPolyTest, MatchesBruteForceMinorSums) {
+  const auto [seed, symmetric] = GetParam();
+  RandomStream rng(static_cast<std::uint64_t>(seed) + 100);
+  const Matrix m = symmetric ? random_psd(6, 6, rng, 1e-3)
+                             : random_npsd(6, rng, 0.7);
+  for (std::size_t jstar = 1; jstar <= 6; ++jstar) {
+    const auto coeffs = charpoly_log_coeffs(m, jstar);
+    const double brute = brute_minor_sum(m, static_cast<int>(jstar));
+    const double got = coeffs[jstar].sign * std::exp(coeffs[jstar].log_abs);
+    EXPECT_NEAR(got, brute, 1e-7 * std::max(1.0, std::abs(brute)))
+        << "coefficient " << jstar;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SeedsAndSymmetry, CharPolyTest,
+                         ::testing::Combine(::testing::Values(1, 2, 3),
+                                            ::testing::Bool()));
+
+TEST(CharPoly, NewtonIdentitiesAgree) {
+  RandomStream rng(61);
+  const Matrix m = random_psd(5, 5, rng, 1e-3);
+  const auto newton = charpoly_newton(m, 5);
+  const auto lambda = symmetric_eigenvalues(m);
+  const auto log_e = log_esp(lambda, 5);
+  for (std::size_t j = 0; j <= 5; ++j) {
+    EXPECT_NEAR(newton[j], std::exp(log_e[j]),
+                1e-8 * std::max(1.0, newton[j]));
+  }
+}
+
+TEST(CharPoly, SaddleRadiusTargetsExpectedSize) {
+  RandomStream rng(62);
+  const Matrix m = random_psd(12, 12, rng, 1e-2);
+  const double rho = saddle_point_radius(m, 4.0);
+  // Expected size at rho should be ~4: tr(rho M (I + rho M)^{-1}).
+  Matrix a = m * rho;
+  for (std::size_t i = 0; i < 12; ++i) a(i, i) += 1.0;
+  const Matrix inv = lu_factor(a).inverse();
+  double expected = 12.0;
+  for (std::size_t i = 0; i < 12; ++i) expected -= inv(i, i);
+  EXPECT_NEAR(expected, 4.0, 0.05);
+}
+
+TEST(CharPoly, ZeroMatrixCoefficients) {
+  const Matrix zero(4, 4);
+  const auto coeffs = charpoly_log_coeffs(zero, 4);
+  EXPECT_EQ(coeffs[0].sign, 1);
+  EXPECT_NEAR(coeffs[0].log_abs, 0.0, 1e-9);
+  for (std::size_t j = 1; j <= 4; ++j) EXPECT_EQ(coeffs[j].sign, 0);
+}
+
+}  // namespace
+}  // namespace pardpp

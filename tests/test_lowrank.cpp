@@ -1,0 +1,173 @@
+// Tests for the low-rank (dual) feature representation: spectral
+// identities, feature-space conditioning, and the FeatureKdppOracle's
+// exact agreement with the dense symmetric oracle.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dpp/feature_oracle.h"
+#include "dpp/symmetric_oracle.h"
+#include "linalg/factory.h"
+#include "linalg/lowrank.h"
+#include "linalg/lu.h"
+#include "linalg/schur.h"
+#include "linalg/symmetric_eigen.h"
+#include "sampling/batched.h"
+#include "sampling/sequential.h"
+#include "support/random.h"
+#include "test_util.h"
+
+namespace pardpp {
+namespace {
+
+class LowRankEigenTest : public ::testing::TestWithParam<std::tuple<int, int>> {
+};
+
+TEST_P(LowRankEigenTest, MatchesDenseSpectrum) {
+  const auto [d, seed] = GetParam();
+  RandomStream rng(static_cast<std::uint64_t>(seed) * 6007 + 1);
+  const std::size_t n = 14;
+  const Matrix b = random_gaussian(n, static_cast<std::size_t>(d), rng);
+  const Matrix l = b * b.transpose();
+  const auto dual = eigen_from_features(b);
+  const auto dense = symmetric_eigenvalues(l);
+  ASSERT_EQ(dual.values.size(), static_cast<std::size_t>(d));
+  // Dense spectrum: n - d zeros then the d nonzero values ascending.
+  for (int j = 0; j < d; ++j) {
+    EXPECT_NEAR(dual.values[static_cast<std::size_t>(j)],
+                dense[n - static_cast<std::size_t>(d) +
+                      static_cast<std::size_t>(j)],
+                1e-8);
+  }
+  // Eigenvector property: L u = lambda u.
+  for (std::size_t m = 0; m < dual.values.size(); ++m) {
+    std::vector<double> u(n);
+    for (std::size_t i = 0; i < n; ++i) u[i] = dual.vectors(i, m);
+    const auto lu_vec = l.apply(u);
+    for (std::size_t i = 0; i < n; ++i)
+      EXPECT_NEAR(lu_vec[i], dual.values[m] * u[i], 1e-8);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RanksAndSeeds, LowRankEigenTest,
+                         ::testing::Combine(::testing::Values(1, 3, 5, 8),
+                                            ::testing::Values(1, 2, 3)));
+
+TEST(LowRankConditioning, MatchesDenseSchurComplement) {
+  RandomStream rng(6101);
+  const std::size_t n = 10;
+  const std::size_t d = 6;
+  const Matrix b = random_gaussian(n, d, rng);
+  const Matrix l = b * b.transpose();
+  const std::vector<int> t = {2, 7};
+  const Matrix b_cond = condition_features(b, t);
+  EXPECT_EQ(b_cond.rows(), n - 2);
+  EXPECT_EQ(b_cond.cols(), d - 2);  // rank drops by |T|
+  const Matrix l_cond = b_cond * b_cond.transpose();
+  const auto dense = condition_ensemble(l, t, /*symmetric=*/true);
+  for (std::size_t i = 0; i < n - 2; ++i)
+    for (std::size_t j = 0; j < n - 2; ++j)
+      EXPECT_NEAR(l_cond(i, j), dense.reduced(i, j), 1e-8);
+}
+
+TEST(LowRankConditioning, NullEventThrows) {
+  RandomStream rng(6102);
+  Matrix b(4, 2);
+  // Rows 0 and 1 parallel: conditioning on both is a null event.
+  b(0, 0) = 1.0;
+  b(1, 0) = 2.0;
+  b(2, 1) = 1.0;
+  b(3, 0) = 0.5;
+  b(3, 1) = 0.5;
+  const std::vector<int> t = {0, 1};
+  EXPECT_THROW((void)condition_features(b, t), NumericalError);
+}
+
+class FeatureOracleTest : public ::testing::TestWithParam<std::tuple<int, int>> {
+};
+
+TEST_P(FeatureOracleTest, AgreesWithDenseOracle) {
+  const auto [k, seed] = GetParam();
+  RandomStream rng(static_cast<std::uint64_t>(seed) * 6203 + 9);
+  const std::size_t n = 12;
+  const std::size_t d = 7;
+  const Matrix b = random_gaussian(n, d, rng);
+  const Matrix l = b * b.transpose();
+  const FeatureKdppOracle fast(b, static_cast<std::size_t>(k));
+  const SymmetricKdppOracle dense(l, static_cast<std::size_t>(k), false);
+  const auto p_fast = fast.marginals();
+  const auto p_dense = dense.marginals();
+  for (std::size_t i = 0; i < n; ++i)
+    EXPECT_NEAR(p_fast[i], p_dense[i], 1e-8);
+  for (int a = 0; a < static_cast<int>(n); a += 3) {
+    for (int c = a + 1; c < static_cast<int>(n); c += 2) {
+      const std::vector<int> t = {a, c};
+      const double got = fast.log_joint_marginal(t);
+      const double want = dense.log_joint_marginal(t);
+      if (want == kNegInf) {
+        EXPECT_EQ(got, kNegInf) << "pair " << a << "," << c;
+      } else {
+        EXPECT_NEAR(got, want, 1e-7) << "pair " << a << "," << c;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(KAndSeeds, FeatureOracleTest,
+                         ::testing::Combine(::testing::Values(1, 2, 4, 6),
+                                            ::testing::Values(1, 2, 3)));
+
+TEST(FeatureOracle, ConditioningConsistency) {
+  RandomStream rng(6301);
+  const Matrix b = random_gaussian(10, 6, rng);
+  const FeatureKdppOracle oracle(b, 4);
+  const std::vector<int> t = {1, 5};
+  const auto conditioned = oracle.condition(t);
+  const std::vector<int> pair_new = {0, 5};  // old {0, 7}
+  const std::vector<int> joint = {0, 1, 5, 7};
+  EXPECT_NEAR(conditioned->log_joint_marginal(pair_new),
+              oracle.log_joint_marginal(joint) - oracle.log_joint_marginal(t),
+              1e-7);
+}
+
+TEST(FeatureOracle, RankBoundEnforced) {
+  RandomStream rng(6302);
+  const Matrix b = random_gaussian(10, 3, rng);
+  EXPECT_THROW(FeatureKdppOracle(b, 4), InvalidArgument);  // k > rank bound
+  EXPECT_NO_THROW(FeatureKdppOracle(b, 3));
+}
+
+TEST(FeatureOracle, BatchedSamplerDistribution) {
+  RandomStream rng(6303);
+  const std::size_t n = 7;
+  const Matrix b = random_gaussian(n, 4, rng);
+  const Matrix l = b * b.transpose();
+  const FeatureKdppOracle oracle(b, 3);
+  const auto exact = testing::exact_distribution(
+      static_cast<int>(n), 3, [&l](std::span<const int> s) {
+        const auto sld = signed_log_det(l.principal(s));
+        return sld.sign > 0 ? sld.log_abs : kNegInf;
+      });
+  std::vector<std::vector<int>> samples;
+  for (int i = 0; i < 20000; ++i)
+    samples.push_back(sample_batched(oracle, rng).items);
+  EXPECT_LT(testing::empirical_tv(exact, samples), 0.045);
+}
+
+TEST(FeatureOracle, LargeNSmallRankIsFast) {
+  // Not a timing assertion — just exercises the scaling path: n = 400
+  // with rank 12, where the dense oracle's O(n^3) eigen would dominate.
+  RandomStream rng(6304);
+  const std::size_t n = 400;
+  const Matrix b = random_gaussian(n, 12, rng);
+  const FeatureKdppOracle oracle(b, 6);
+  const auto p = oracle.marginals();
+  double sum = 0.0;
+  for (const double v : p) sum += v;
+  EXPECT_NEAR(sum, 6.0, 1e-6);
+  const auto sample = sample_batched(oracle, rng);
+  EXPECT_EQ(sample.items.size(), 6u);
+}
+
+}  // namespace
+}  // namespace pardpp

@@ -1,0 +1,123 @@
+// Unit tests for the thread pool, parallel_for, and the PRAM cost ledger.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "parallel/parallel_for.h"
+#include "parallel/pram.h"
+#include "parallel/thread_pool.h"
+
+namespace pardpp {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 64; ++i)
+    futures.push_back(pool.submit([&counter] { ++counter; }));
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 64);
+}
+
+TEST(ThreadPool, PropagatesExceptions) {
+  ThreadPool pool(1);
+  auto future = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(future.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, ReturnsValues) {
+  ThreadPool pool(2);
+  auto future = pool.submit([] { return 42; });
+  EXPECT_EQ(future.get(), 42);
+}
+
+TEST(ParallelFor, CoversFullRangeExactlyOnce) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(257);
+  parallel_for(pool, 0, 257, [&](std::size_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, EmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  bool called = false;
+  parallel_for(pool, 5, 5, [&](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelFor, MatchesSerialSum) {
+  ThreadPool pool(4);
+  std::vector<double> out(1000);
+  parallel_for(pool, 0, 1000,
+               [&](std::size_t i) { out[i] = static_cast<double>(i) * 0.5; });
+  const double total = std::accumulate(out.begin(), out.end(), 0.0);
+  EXPECT_DOUBLE_EQ(total, 0.5 * 999.0 * 1000.0 / 2.0);
+}
+
+TEST(ParallelInvoke, RunsAllThunks) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  std::vector<std::function<void()>> thunks;
+  for (int i = 0; i < 10; ++i) thunks.push_back([&counter] { ++counter; });
+  parallel_invoke(pool, std::move(thunks));
+  EXPECT_EQ(counter.load(), 10);
+}
+
+TEST(Pram, SequentialRoundsAccumulateDepth) {
+  PramLedger ledger;
+  ledger.round(10, 10);
+  ledger.round(5, 5);
+  ledger.round(1, 0);
+  EXPECT_DOUBLE_EQ(ledger.stats().depth, 3.0);
+  EXPECT_EQ(ledger.stats().rounds, 3u);
+  EXPECT_EQ(ledger.stats().max_machines, 10u);
+  EXPECT_EQ(ledger.stats().oracle_calls, 15u);
+  EXPECT_DOUBLE_EQ(ledger.stats().work, 16.0);
+}
+
+TEST(Pram, ForkJoinTakesMaxDepthAndSumsWork) {
+  PramStats a;
+  a.depth = 5;
+  a.work = 50;
+  a.rounds = 5;
+  a.max_machines = 4;
+  a.oracle_calls = 50;
+  PramStats b;
+  b.depth = 3;
+  b.work = 30;
+  b.rounds = 3;
+  b.max_machines = 8;
+  b.oracle_calls = 30;
+  PramLedger ledger;
+  ledger.round(2, 2);  // pre-fork round
+  const std::vector<PramStats> children = {a, b};
+  ledger.fork_join(children);
+  EXPECT_DOUBLE_EQ(ledger.stats().depth, 1.0 + 5.0);
+  EXPECT_DOUBLE_EQ(ledger.stats().work, 2.0 + 80.0);
+  EXPECT_EQ(ledger.stats().max_machines, 12u);  // 4 + 8 concurrent
+  EXPECT_EQ(ledger.stats().oracle_calls, 82u);
+}
+
+TEST(Pram, NullLedgerHelpersAreSafe) {
+  EXPECT_NO_THROW(charge_round(nullptr, 10, 10));
+}
+
+TEST(Pram, AppendSequentialComposes) {
+  PramStats a;
+  a.depth = 2;
+  a.rounds = 2;
+  a.work = 4;
+  PramStats b;
+  b.depth = 3;
+  b.rounds = 3;
+  b.work = 9;
+  a.append_sequential(b);
+  EXPECT_DOUBLE_EQ(a.depth, 5.0);
+  EXPECT_EQ(a.rounds, 5u);
+  EXPECT_DOUBLE_EQ(a.work, 13.0);
+}
+
+}  // namespace
+}  // namespace pardpp

@@ -1,0 +1,122 @@
+// Tests for the Pfaffian: Parlett-Reid vs recursive expansion, the
+// Pf(A)^2 = det(A) identity, and degenerate cases.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/factory.h"
+#include "linalg/lu.h"
+#include "linalg/pfaffian.h"
+#include "support/random.h"
+
+namespace pardpp {
+namespace {
+
+Matrix random_skew(std::size_t n, RandomStream& rng) {
+  Matrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double v = rng.normal();
+      a(i, j) = v;
+      a(j, i) = -v;
+    }
+  }
+  return a;
+}
+
+TEST(Pfaffian, TwoByTwo) {
+  Matrix a(2, 2);
+  a(0, 1) = 3.5;
+  a(1, 0) = -3.5;
+  const auto pf = pfaffian_log(a);
+  EXPECT_EQ(pf.sign, 1);
+  EXPECT_NEAR(std::exp(pf.log_abs), 3.5, 1e-12);
+  EXPECT_NEAR(pfaffian_small(a), 3.5, 1e-12);
+}
+
+TEST(Pfaffian, FourByFourClosedForm) {
+  // Pf = a12 a34 - a13 a24 + a14 a23.
+  Matrix a(4, 4);
+  const auto set = [&a](std::size_t i, std::size_t j, double v) {
+    a(i, j) = v;
+    a(j, i) = -v;
+  };
+  set(0, 1, 2.0);
+  set(0, 2, -3.0);
+  set(0, 3, 4.0);
+  set(1, 2, 5.0);
+  set(1, 3, -6.0);
+  set(2, 3, 7.0);
+  const double expected = 2.0 * 7.0 - (-3.0) * (-6.0) + 4.0 * 5.0;
+  const auto pf = pfaffian_log(a);
+  EXPECT_NEAR(pf.sign * std::exp(pf.log_abs), expected, 1e-10);
+  EXPECT_NEAR(pfaffian_small(a), expected, 1e-10);
+}
+
+TEST(Pfaffian, OddDimensionIsZero) {
+  RandomStream rng(1);
+  const Matrix a = random_skew(5, rng);
+  EXPECT_EQ(pfaffian_log(a).sign, 0);
+  EXPECT_DOUBLE_EQ(pfaffian_small(a), 0.0);
+}
+
+TEST(Pfaffian, EmptyMatrixIsOne) {
+  const auto pf = pfaffian_log(Matrix(0, 0));
+  EXPECT_EQ(pf.sign, 1);
+  EXPECT_DOUBLE_EQ(pf.log_abs, 0.0);
+}
+
+TEST(Pfaffian, RejectsNonSkew) {
+  Matrix a = Matrix::identity(4);
+  EXPECT_THROW((void)pfaffian_log(a), InvalidArgument);
+}
+
+class PfaffianRandom : public ::testing::TestWithParam<std::tuple<int, int>> {
+};
+
+TEST_P(PfaffianRandom, MatchesRecursiveExpansion) {
+  const auto [n, seed] = GetParam();
+  RandomStream rng(static_cast<std::uint64_t>(seed) * 17 + 3);
+  const Matrix a = random_skew(static_cast<std::size_t>(n), rng);
+  const double brute = pfaffian_small(a);
+  const auto pf = pfaffian_log(a);
+  if (std::abs(brute) < 1e-12) {
+    EXPECT_EQ(pf.sign, 0);
+  } else {
+    EXPECT_NEAR(pf.sign * std::exp(pf.log_abs), brute,
+                1e-8 * std::abs(brute));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SizesAndSeeds, PfaffianRandom,
+                         ::testing::Combine(::testing::Values(2, 4, 6, 8, 10),
+                                            ::testing::Values(1, 2, 3, 4)));
+
+class PfaffianSquared : public ::testing::TestWithParam<int> {};
+
+TEST_P(PfaffianSquared, EqualsDeterminant) {
+  RandomStream rng(static_cast<std::uint64_t>(GetParam()) * 31);
+  const Matrix a = random_skew(12, rng);
+  const auto pf = pfaffian_log(a);
+  const auto det = signed_log_det(a);
+  ASSERT_NE(pf.sign, 0);
+  EXPECT_NEAR(2.0 * pf.log_abs, det.log_abs, 1e-7);
+  EXPECT_EQ(det.sign, 1);  // det of even skew = Pf^2 >= 0
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PfaffianSquared,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+TEST(Pfaffian, StructuralZero) {
+  // Two isolated pairs cannot be matched across: Pf = product of pair
+  // entries; zeroing one pair's entry kills the Pfaffian.
+  Matrix a(4, 4);
+  a(0, 1) = 1.0;
+  a(1, 0) = -1.0;
+  // vertices 2,3 disconnected from everything.
+  const auto pf = pfaffian_log(a);
+  EXPECT_EQ(pf.sign, 0);
+}
+
+}  // namespace
+}  // namespace pardpp

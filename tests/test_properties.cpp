@@ -1,0 +1,271 @@
+// Property tests keyed directly to the paper's lemmas: negative
+// correlation (Lemma 16), the acceptance-ratio bound (Lemma 27), the KL
+// divergence bound (Lemma 36), the batch schedule (Prop. 28), and the §7
+// hard-instance duplicate law.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "distributions/hard_instance.h"
+#include "dpp/general_oracle.h"
+#include "dpp/symmetric_oracle.h"
+#include "linalg/factory.h"
+#include "linalg/lu.h"
+#include "support/combinatorics.h"
+#include "support/random.h"
+#include "test_util.h"
+
+namespace pardpp {
+namespace {
+
+// ---- Lemma 16: negative correlation of strongly Rayleigh measures ----
+
+class NegativeCorrelation
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(NegativeCorrelation, JointBelowProductOfMarginals) {
+  const auto [seed, k] = GetParam();
+  RandomStream rng(static_cast<std::uint64_t>(seed) * 1009 + 3);
+  const Matrix l = random_psd(9, 9, rng, 1e-3);
+  const SymmetricKdppOracle oracle(l, static_cast<std::size_t>(k));
+  const auto p = oracle.marginals();
+  for (int a = 0; a < 9; ++a) {
+    for (int b = a + 1; b < 9; ++b) {
+      const std::vector<int> t = {a, b};
+      const double joint = std::exp(oracle.log_joint_marginal(t));
+      EXPECT_LE(joint, p[static_cast<std::size_t>(a)] *
+                               p[static_cast<std::size_t>(b)] +
+                           1e-9)
+          << "pair " << a << "," << b;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SeedsAndK, NegativeCorrelation,
+                         ::testing::Combine(::testing::Values(1, 2, 3, 4, 5),
+                                            ::testing::Values(2, 3, 5)));
+
+TEST(NegativeCorrelationCounterexample, NonsymmetricDppCanBePositive) {
+  // Nonsymmetric DPPs may exhibit positive correlations (the paper's
+  // motivation for studying them separately). Construct one:
+  // L = [[1, -a], [a, 1]] gives det(L) = 1 + a^2 > L_11 L_22.
+  Matrix l(2, 2);
+  l(0, 0) = 1.0;
+  l(1, 1) = 1.0;
+  l(0, 1) = -2.0;
+  l(1, 0) = 2.0;
+  const GeneralDppOracle oracle(l, 2);
+  // k = 2: joint marginal is 1, product of marginals is 1 — trivial; use
+  // the unconstrained comparison instead via enumeration at k = 1..2.
+  // P[{0,1} ⊆ S] for the 2-DPP is 1; the real check: the *measure* of the
+  // pair det(L_{01}) = 5 exceeds det(L_0) det(L_1) = 1.
+  EXPECT_GT(det_small(l), l(0, 0) * l(1, 1));
+  (void)oracle;
+}
+
+// ---- Lemma 27: acceptance-ratio bound for negatively correlated mu ----
+
+class Lemma27Bound : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(Lemma27Bound, RatioNeverExceedsExpT2OverK) {
+  const auto [seed, k] = GetParam();
+  RandomStream rng(static_cast<std::uint64_t>(seed) * 2003 + 7);
+  const int n = 10;
+  const Matrix l = random_psd(static_cast<std::size_t>(n), 10, rng, 1e-3);
+  const SymmetricKdppOracle oracle(l, static_cast<std::size_t>(k));
+  const auto p = oracle.marginals();
+  const auto t = static_cast<std::size_t>(
+      std::ceil(std::sqrt(static_cast<double>(k))));
+  const double log_k = std::log(static_cast<double>(k));
+  double log_falling = 0.0;
+  for (std::size_t r = 0; r < t; ++r)
+    log_falling += std::log(static_cast<double>(k) - static_cast<double>(r));
+  // Exhaustively check every batch of size t.
+  double max_log_ratio = kNegInf;
+  for_each_subset(n, static_cast<int>(t), [&](std::span<const int> batch) {
+    const double joint = oracle.log_joint_marginal(batch);
+    if (joint == kNegInf) return;
+    double log_proposal = 0.0;
+    for (const int i : batch)
+      log_proposal += std::log(p[static_cast<std::size_t>(i)]) - log_k;
+    const double log_ratio = joint - log_falling - log_proposal;
+    max_log_ratio = std::max(max_log_ratio, log_ratio);
+  });
+  const double cap = static_cast<double>(t) * static_cast<double>(t) /
+                     static_cast<double>(k);
+  EXPECT_LE(max_log_ratio, cap + 1e-7);
+}
+
+INSTANTIATE_TEST_SUITE_P(SeedsAndK, Lemma27Bound,
+                         ::testing::Combine(::testing::Values(1, 2, 3, 4),
+                                            ::testing::Values(2, 4, 6, 9)));
+
+TEST(Lemma27, HardInstanceViolatesSymmetricCap) {
+  // The paired instance's ratio on a full pair is ~ n/(2(k-1)), far above
+  // exp(t^2/k) — the reason Theorem 29 needs the larger entropic cap.
+  const std::size_t n = 64;
+  const std::size_t k = 8;
+  const HardInstanceOracle oracle(n, k);
+  const auto p = oracle.marginals();
+  const std::vector<int> pair = {0, 1};
+  const double log_ratio =
+      oracle.log_joint_marginal(pair) -
+      (std::log(static_cast<double>(k)) +
+       std::log(static_cast<double>(k - 1))) -
+      (std::log(p[0] / static_cast<double>(k)) +
+       std::log(p[1] / static_cast<double>(k)));
+  const double symmetric_cap = 4.0 / static_cast<double>(k);
+  EXPECT_GT(log_ratio, symmetric_cap + 1.0);
+  // Expected value: P[pair]=k/n; ratio = (k/n) / (k(k-1)/n^2) = n/(k-1).
+  EXPECT_NEAR(log_ratio,
+              std::log(static_cast<double>(n) / static_cast<double>(k - 1)),
+              1e-9);
+}
+
+// ---- Lemma 36: KL divergence bound (exact, by enumeration) ----
+
+class Lemma36Bound : public ::testing::TestWithParam<int> {};
+
+TEST_P(Lemma36Bound, KlBelowEntropicBound) {
+  RandomStream rng(static_cast<std::uint64_t>(GetParam()) * 4001 + 13);
+  const int n = 10;
+  const int k = 5;
+  const Matrix lmat = random_psd(static_cast<std::size_t>(n), 10, rng, 1e-3);
+  const SymmetricKdppOracle oracle(lmat, static_cast<std::size_t>(k));
+  const auto p = oracle.marginals();
+  // KL(mu_l || mu'_l) computed exactly for l = 2, 3: mu_l is the
+  // down-operator marginal, mu'_l the iid-from-p/k product on ordered
+  // tuples (collapsed to sets; the k!/(k-l)! vs l! factors already cancel
+  // in the ratio used below).
+  for (const int l : {2, 3}) {
+    double kl = 0.0;
+    double log_falling = 0.0;
+    for (int r = 0; r < l; ++r)
+      log_falling += std::log(static_cast<double>(k - r));
+    for_each_subset(n, l, [&](std::span<const int> s) {
+      const double log_joint = oracle.log_joint_marginal(s);
+      if (log_joint == kNegInf) return;
+      // mu_l(S) = P[S ⊆ T] / C(k, l); ordered-target over ordered-proposal
+      // ratio = P / (falling * prod p/k).
+      const double log_mu_l =
+          log_joint - log_binomial(static_cast<std::size_t>(k),
+                                   static_cast<std::size_t>(l));
+      double log_prop = 0.0;
+      for (const int i : s)
+        log_prop += std::log(p[static_cast<std::size_t>(i)] /
+                             static_cast<double>(k));
+      const double log_ratio = log_joint - log_falling - log_prop;
+      kl += std::exp(log_mu_l) * log_ratio;
+    });
+    // Lemma 36 with alpha = 1 (symmetric DPPs are 1-entropically
+    // independent): KL <= (l^2 / k)(log(2n/k) + 1).
+    const double bound = static_cast<double>(l * l) /
+                         static_cast<double>(k) *
+                         (std::log(2.0 * n / k) + 1.0);
+    EXPECT_LE(kl, bound) << "l = " << l;
+    EXPECT_GE(kl, -1e-9);  // KL nonnegativity sanity
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Lemma36Bound, ::testing::Values(1, 2, 3, 4, 5));
+
+// ---- Proposition 28: the batch schedule terminates in 2 sqrt(k) ----
+
+class Prop28Schedule : public ::testing::TestWithParam<int> {};
+
+TEST_P(Prop28Schedule, RoundBound) {
+  const int k0 = GetParam();
+  int k = k0;
+  int rounds = 0;
+  while (k > 0) {
+    k -= static_cast<int>(std::ceil(std::sqrt(static_cast<double>(k))));
+    ++rounds;
+  }
+  EXPECT_LE(rounds, static_cast<int>(2.0 * std::sqrt(
+                        static_cast<double>(k0))) + 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, Prop28Schedule,
+                         ::testing::Values(1, 2, 4, 16, 100, 1024, 65536,
+                                           1000000));
+
+// ---- §7: duplicate probability law on the hard instance ----
+
+TEST(HardInstanceLaw, DuplicateProbabilityScalesAsL2OverK) {
+  // P[a mu_l draw contains >= 1 duplicate] = Theta(l^2 / k): estimate by
+  // simulating the down operator (sample k/2 pairs, downsample to l) and
+  // compare across k at fixed l^2/k ratio.
+  RandomStream rng(5001);
+  const auto estimate = [&rng](std::size_t n, std::size_t k, std::size_t l) {
+    const std::size_t trials = 20000;
+    std::size_t hits = 0;
+    std::vector<int> pairs(n / 2);
+    for (std::size_t i = 0; i < n / 2; ++i) pairs[i] = static_cast<int>(i);
+    for (std::size_t trial = 0; trial < trials; ++trial) {
+      rng.shuffle(pairs);
+      // S = first k/2 pairs; downsample l elements without replacement.
+      std::vector<int> elements;
+      elements.reserve(k);
+      for (std::size_t i = 0; i < k / 2; ++i) {
+        elements.push_back(2 * pairs[i]);
+        elements.push_back(2 * pairs[i] + 1);
+      }
+      rng.shuffle(elements);
+      std::vector<bool> seen(n / 2, false);
+      bool dup = false;
+      for (std::size_t i = 0; i < l; ++i) {
+        const auto pair_id = static_cast<std::size_t>(elements[i] / 2);
+        if (seen[pair_id]) dup = true;
+        seen[pair_id] = true;
+      }
+      hits += dup ? 1 : 0;
+    }
+    return static_cast<double>(hits) / static_cast<double>(trials);
+  };
+  // l = sqrt(k): duplicate probability should be Theta(1) and comparable
+  // across scales.
+  const double p16 = estimate(64, 16, 4);
+  const double p64 = estimate(256, 64, 8);
+  EXPECT_GT(p16, 0.15);
+  EXPECT_LT(p16, 0.75);
+  EXPECT_GT(p64, 0.15);
+  EXPECT_LT(p64, 0.75);
+  // l = 4 sqrt(k): collapse (duplicates almost surely).
+  const double collapse = estimate(256, 64, 32);
+  EXPECT_GT(collapse, 0.95);
+  // l = sqrt(k)/4: rare duplicates.
+  const double rare = estimate(256, 64, 2);
+  EXPECT_LT(rare, 0.10);
+}
+
+// ---- Sanity: marginals are probabilities across all oracles ----
+
+class MarginalRange : public ::testing::TestWithParam<int> {};
+
+TEST_P(MarginalRange, AllOraclesInUnitInterval) {
+  RandomStream rng(static_cast<std::uint64_t>(GetParam()) * 7001);
+  const Matrix psd = random_psd(8, 8, rng, 1e-3);
+  const Matrix npsd = random_npsd(8, rng, 0.5);
+  const SymmetricKdppOracle sym(psd, 3);
+  const GeneralDppOracle gen(npsd, 3);
+  const HardInstanceOracle hard(8, 4);
+  for (const CountingOracle* oracle :
+       {static_cast<const CountingOracle*>(&sym),
+        static_cast<const CountingOracle*>(&gen),
+        static_cast<const CountingOracle*>(&hard)}) {
+    const auto p = oracle->marginals();
+    double sum = 0.0;
+    for (const double v : p) {
+      EXPECT_GE(v, -1e-9);
+      EXPECT_LE(v, 1.0 + 1e-9);
+      sum += v;
+    }
+    EXPECT_NEAR(sum, static_cast<double>(oracle->sample_size()), 1e-5)
+        << oracle->name();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MarginalRange, ::testing::Values(1, 2, 3));
+
+}  // namespace
+}  // namespace pardpp

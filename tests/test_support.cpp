@@ -1,0 +1,177 @@
+// Unit tests for the support layer: log-domain arithmetic, random streams,
+// combinatorics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "support/combinatorics.h"
+#include "support/error.h"
+#include "support/logsum.h"
+#include "support/random.h"
+
+namespace pardpp {
+namespace {
+
+TEST(LogSum, LogAddMatchesDirect) {
+  EXPECT_NEAR(log_add(std::log(2.0), std::log(3.0)), std::log(5.0), 1e-12);
+  EXPECT_NEAR(log_add(std::log(1e-8), std::log(1e8)), std::log(1e8 + 1e-8),
+              1e-12);
+}
+
+TEST(LogSum, LogAddWithNegInf) {
+  EXPECT_DOUBLE_EQ(log_add(kNegInf, 1.5), 1.5);
+  EXPECT_DOUBLE_EQ(log_add(1.5, kNegInf), 1.5);
+  EXPECT_DOUBLE_EQ(log_add(kNegInf, kNegInf), kNegInf);
+}
+
+TEST(LogSum, LogSubMatchesDirect) {
+  EXPECT_NEAR(log_sub(std::log(5.0), std::log(3.0)), std::log(2.0), 1e-12);
+  EXPECT_DOUBLE_EQ(log_sub(1.0, 1.0), kNegInf);
+  EXPECT_DOUBLE_EQ(log_sub(2.0, kNegInf), 2.0);
+}
+
+TEST(LogSum, LogSumExpExtremeRange) {
+  const std::vector<double> values = {-1000.0, 0.0, -1e9};
+  EXPECT_NEAR(logsumexp(values), std::log(1.0 + std::exp(-1000.0)), 1e-12);
+}
+
+TEST(LogSum, LogSumExpEmptyAndAllNegInf) {
+  EXPECT_DOUBLE_EQ(logsumexp(std::vector<double>{}), kNegInf);
+  EXPECT_DOUBLE_EQ(logsumexp(std::vector<double>{kNegInf, kNegInf}), kNegInf);
+}
+
+TEST(Random, UniformInRange) {
+  RandomStream rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Random, Deterministic) {
+  RandomStream a(7);
+  RandomStream b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Random, SplitStreamsDiffer) {
+  RandomStream parent(7);
+  RandomStream child1 = parent.split();
+  RandomStream child2 = parent.split();
+  int agreements = 0;
+  for (int i = 0; i < 64; ++i)
+    agreements += (child1.next_u64() == child2.next_u64());
+  EXPECT_EQ(agreements, 0);
+}
+
+TEST(Random, UniformIndexBounds) {
+  RandomStream rng(3);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.uniform_index(7);
+    EXPECT_LT(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all residues hit
+}
+
+TEST(Random, CategoricalFrequencies) {
+  RandomStream rng(11);
+  const std::vector<double> weights = {1.0, 2.0, 3.0, 4.0};
+  std::vector<double> counts(4, 0.0);
+  const int trials = 40000;
+  for (int i = 0; i < trials; ++i) counts[rng.categorical(weights)] += 1.0;
+  for (std::size_t j = 0; j < 4; ++j) {
+    EXPECT_NEAR(counts[j] / trials, weights[j] / 10.0, 0.02);
+  }
+}
+
+TEST(Random, CategoricalRejectsInvalid) {
+  RandomStream rng(1);
+  EXPECT_THROW((void)rng.categorical(std::vector<double>{0.0, 0.0}),
+               InvalidArgument);
+  EXPECT_THROW((void)rng.categorical(std::vector<double>{1.0, -0.5}),
+               InvalidArgument);
+}
+
+TEST(Random, NormalMoments) {
+  RandomStream rng(13);
+  double sum = 0.0;
+  double sum2 = 0.0;
+  const int trials = 50000;
+  for (int i = 0; i < trials; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum2 += x * x;
+  }
+  EXPECT_NEAR(sum / trials, 0.0, 0.03);
+  EXPECT_NEAR(sum2 / trials, 1.0, 0.05);
+}
+
+TEST(Combinatorics, LogBinomialMatchesExact) {
+  EXPECT_NEAR(std::exp(log_binomial(10, 4)), 210.0, 1e-9);
+  EXPECT_NEAR(std::exp(log_binomial(5, 0)), 1.0, 1e-12);
+  EXPECT_EQ(log_binomial(4, 6), kNegInf);
+}
+
+TEST(Combinatorics, ForEachSubsetCount) {
+  int count = 0;
+  for_each_subset(7, 3, [&](std::span<const int> s) {
+    EXPECT_EQ(s.size(), 3u);
+    ++count;
+  });
+  EXPECT_EQ(count, 35);
+}
+
+TEST(Combinatorics, ForEachSubsetEdgeCases) {
+  int count = 0;
+  for_each_subset(5, 0, [&](std::span<const int> s) {
+    EXPECT_TRUE(s.empty());
+    ++count;
+  });
+  EXPECT_EQ(count, 1);
+  count = 0;
+  for_each_subset(3, 5, [&](std::span<const int>) { ++count; });
+  EXPECT_EQ(count, 0);
+}
+
+TEST(Combinatorics, SubsetIndexerRoundTrip) {
+  const SubsetIndexer indexer(9, 4);
+  EXPECT_EQ(indexer.count(), 126u);
+  for (std::size_t r = 0; r < indexer.count(); ++r) {
+    const auto subset = indexer.unrank(r);
+    EXPECT_EQ(indexer.rank(subset), r);
+  }
+}
+
+TEST(Combinatorics, SubsetIndexerLexOrder) {
+  const SubsetIndexer indexer(5, 2);
+  std::size_t expected = 0;
+  for_each_subset(5, 2, [&](std::span<const int> s) {
+    EXPECT_EQ(indexer.rank(s), expected);
+    ++expected;
+  });
+}
+
+TEST(Error, CheckThrowsTypedExceptions) {
+  EXPECT_THROW(check_arg(false, "bad arg"), InvalidArgument);
+  EXPECT_THROW(check_numeric(false, "bad numeric"), NumericalError);
+  EXPECT_THROW(check(false, "bad"), Error);
+  EXPECT_NO_THROW(check_arg(true, "fine"));
+}
+
+TEST(Error, MessageContainsLocation) {
+  try {
+    check_arg(false, "special-marker");
+    FAIL() << "should have thrown";
+  } catch (const InvalidArgument& e) {
+    EXPECT_NE(std::string(e.what()).find("special-marker"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("test_support.cpp"),
+              std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace pardpp

@@ -1,0 +1,170 @@
+// Shared test utilities: enumeration-backed ground truth and
+// total-variation distribution checks.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "distributions/oracle.h"
+#include "support/combinatorics.h"
+#include "support/logsum.h"
+
+namespace pardpp::testing {
+
+/// Exact distribution over k-subsets of [n], stored by lexicographic rank.
+struct ExactDistribution {
+  int n = 0;
+  int k = 0;
+  std::vector<double> probs;  // indexed by SubsetIndexer rank
+
+  [[nodiscard]] double prob_of(std::span<const int> subset) const {
+    const SubsetIndexer indexer(n, k);
+    return probs[indexer.rank(subset)];
+  }
+};
+
+/// Builds the exact distribution from an unnormalized log-mass callback.
+inline ExactDistribution exact_distribution(
+    int n, int k,
+    const std::function<double(std::span<const int>)>& log_mass) {
+  ExactDistribution dist;
+  dist.n = n;
+  dist.k = k;
+  const SubsetIndexer indexer(n, k);
+  std::vector<double> log_masses(indexer.count(), kNegInf);
+  for_each_subset(n, k, [&](std::span<const int> subset) {
+    log_masses[indexer.rank(subset)] = log_mass(subset);
+  });
+  const double log_z = logsumexp(log_masses);
+  dist.probs.resize(log_masses.size());
+  for (std::size_t i = 0; i < log_masses.size(); ++i)
+    dist.probs[i] = std::exp(log_masses[i] - log_z);
+  return dist;
+}
+
+/// Total variation distance between the exact distribution and the
+/// empirical distribution of `samples` (each a sorted k-subset).
+inline double empirical_tv(const ExactDistribution& dist,
+                           const std::vector<std::vector<int>>& samples) {
+  const SubsetIndexer indexer(dist.n, dist.k);
+  std::vector<double> counts(dist.probs.size(), 0.0);
+  for (const auto& s : samples) counts[indexer.rank(s)] += 1.0;
+  double tv = 0.0;
+  const double total = static_cast<double>(samples.size());
+  for (std::size_t i = 0; i < counts.size(); ++i)
+    tv += std::abs(counts[i] / total - dist.probs[i]);
+  return 0.5 * tv;
+}
+
+/// Generic TV between an exact map distribution and empirical counts
+/// (for matchings and other non-subset outcomes).
+template <typename Key>
+double empirical_tv_map(const std::map<Key, double>& exact,
+                        const std::map<Key, std::size_t>& counts,
+                        std::size_t total) {
+  double tv = 0.0;
+  for (const auto& [key, p] : exact) {
+    const auto it = counts.find(key);
+    const double phat =
+        it == counts.end()
+            ? 0.0
+            : static_cast<double>(it->second) / static_cast<double>(total);
+    tv += std::abs(phat - p);
+  }
+  for (const auto& [key, c] : counts) {
+    if (exact.find(key) == exact.end())
+      tv += static_cast<double>(c) / static_cast<double>(total);
+  }
+  return 0.5 * tv;
+}
+
+/// Counting oracle backed by exhaustive enumeration — the ground truth
+/// every real oracle is validated against. O(C(n,k)) everywhere.
+class EnumeratedOracle final : public CountingOracle {
+ public:
+  EnumeratedOracle(int n, int k,
+                   std::function<double(std::span<const int>)> log_mass)
+      : n_(n), k_(k), indexer_(n, k) {
+    log_masses_.assign(indexer_.count(), kNegInf);
+    for_each_subset(n, k, [&](std::span<const int> subset) {
+      log_masses_[indexer_.rank(subset)] = log_mass(subset);
+    });
+    log_z_ = logsumexp(log_masses_);
+    check_arg(log_z_ != kNegInf, "EnumeratedOracle: zero total mass");
+  }
+
+  [[nodiscard]] std::size_t ground_size() const override {
+    return static_cast<std::size_t>(n_);
+  }
+  [[nodiscard]] std::size_t sample_size() const override {
+    return static_cast<std::size_t>(k_);
+  }
+
+  [[nodiscard]] double log_joint_marginal(
+      std::span<const int> t) const override {
+    if (t.size() > static_cast<std::size_t>(k_)) return kNegInf;
+    double acc = kNegInf;
+    for_each_subset(n_, k_, [&](std::span<const int> subset) {
+      for (const int want : t) {
+        bool found = false;
+        for (const int have : subset)
+          if (have == want) found = true;
+        if (!found) return;
+      }
+      acc = log_add(acc, log_masses_[indexer_.rank(subset)]);
+    });
+    return acc - log_z_;
+  }
+
+  [[nodiscard]] std::vector<double> marginals() const override {
+    std::vector<double> p(static_cast<std::size_t>(n_), 0.0);
+    for_each_subset(n_, k_, [&](std::span<const int> subset) {
+      const double mass =
+          std::exp(log_masses_[indexer_.rank(subset)] - log_z_);
+      for (const int i : subset) p[static_cast<std::size_t>(i)] += mass;
+    });
+    return p;
+  }
+
+  [[nodiscard]] std::unique_ptr<CountingOracle> condition(
+      std::span<const int> t) const override {
+    // Remap: remaining elements keep order.
+    std::vector<int> keep;
+    std::vector<bool> in_t(static_cast<std::size_t>(n_), false);
+    for (const int i : t) in_t[static_cast<std::size_t>(i)] = true;
+    for (int i = 0; i < n_; ++i)
+      if (!in_t[static_cast<std::size_t>(i)]) keep.push_back(i);
+    std::vector<int> t_sorted(t.begin(), t.end());
+    std::sort(t_sorted.begin(), t_sorted.end());
+    const int new_n = static_cast<int>(keep.size());
+    const int new_k = k_ - static_cast<int>(t.size());
+    auto mass = [this, keep, t_sorted](std::span<const int> subset) {
+      std::vector<int> full = t_sorted;
+      for (const int i : subset)
+        full.push_back(keep[static_cast<std::size_t>(i)]);
+      std::sort(full.begin(), full.end());
+      return log_masses_[indexer_.rank(full)];
+    };
+    return std::make_unique<EnumeratedOracle>(new_n, new_k, mass);
+  }
+
+  [[nodiscard]] std::unique_ptr<CountingOracle> clone() const override {
+    auto copy = std::make_unique<EnumeratedOracle>(
+        n_, k_, [](std::span<const int>) { return 0.0; });
+    copy->log_masses_ = log_masses_;
+    copy->log_z_ = log_z_;
+    return copy;
+  }
+
+  [[nodiscard]] std::string name() const override { return "enumerated"; }
+
+ private:
+  int n_;
+  int k_;
+  SubsetIndexer indexer_;
+  std::vector<double> log_masses_;
+  double log_z_ = 0.0;
+};
+
+}  // namespace pardpp::testing
