@@ -11,6 +11,8 @@
 #include "dpp/ensemble.h"
 #include "linalg/factory.h"
 #include "linalg/symmetric_eigen.h"
+#include "parallel/execution.h"
+#include "parallel/thread_pool.h"
 #include "sampling/filtering.h"
 #include "sampling/unconstrained.h"
 #include "support/random.h"
@@ -125,5 +127,50 @@ int main() {
                     fmt_int(result.items.size())});
   }
   table3.print();
+
+  print_header(
+      "EXP-T41d", "ExecutionContext thread sweep (filtering sampler)",
+      "one seed, pool sizes {1,2,4,hw}: identical samples at every pool "
+      "size; the Bernoulli/rejection machines of each filtering round "
+      "fan out, paying off on multicore hardware");
+  const std::size_t n4 = 96;
+  const double sigma4 = 0.4;
+  RandomStream rng4(96004);
+  std::vector<double> spectrum4(n4);
+  for (std::size_t i = 0; i < n4; ++i)
+    spectrum4[i] = sigma4 * (0.25 + 0.75 * static_cast<double>(i) /
+                                       static_cast<double>(n4 - 1));
+  const Matrix kernel4 = kernel_with_spectrum(spectrum4, rng4);
+  const Matrix l4 = ensemble_from_kernel(kernel4);
+  const std::uint64_t seed4 = 515151;
+  const int repeats = 3;
+
+  const auto points =
+      run_thread_sweep(repeats, [&](const ExecutionContext& ctx) {
+        RandomStream run_rng(seed4);
+        return sample_filtering_dpp(l4, run_rng, ctx).items;
+      });
+
+  Table table4({"pool", "wall_ms", "speedup", "rounds", "|S|", "identical"});
+  JsonSeries json;
+  for (const SweepPoint& point : points) {
+    const std::size_t rounds =
+        point.pram.rounds / static_cast<std::size_t>(repeats);
+    table4.add_row({fmt_int(point.pool_size), fmt(point.wall_ms, 1),
+                    fmt(point.speedup, 2), fmt_int(rounds),
+                    fmt_int(point.items.size()),
+                    point.identical ? "yes" : "NO"});
+    json.add_record(
+        {JsonSeries::text("experiment", "theorem41_thread_sweep"),
+         JsonSeries::number("n", n4),
+         JsonSeries::number("sigma", sigma4, 3),
+         JsonSeries::number("pool", point.pool_size),
+         JsonSeries::number("wall_ms", point.wall_ms, 3),
+         JsonSeries::number("speedup", point.speedup, 3),
+         JsonSeries::number("rounds", rounds),
+         JsonSeries::text("identical", point.identical ? "yes" : "no")});
+  }
+  table4.print();
+  json.write("BENCH_theorem41_threads.json");
   return 0;
 }

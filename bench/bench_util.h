@@ -6,8 +6,15 @@
 #pragma once
 
 #include <cstdio>
+#include <fstream>
 #include <string>
+#include <thread>
+#include <utility>
 #include <vector>
+
+#include "parallel/execution.h"
+#include "parallel/thread_pool.h"
+#include "support/timer.h"
 
 namespace pardpp::bench {
 
@@ -58,5 +65,124 @@ inline std::string fmt(double v, int precision = 3) {
 }
 
 inline std::string fmt_int(std::size_t v) { return std::to_string(v); }
+
+/// Pool sizes for wall-clock scaling sweeps: {1, 2, 4, hardware}, deduped
+/// ascending. Pools wider than the hardware still run (the determinism
+/// check across pool sizes is what matters there); only the speedup
+/// column is meaningful relative to the actual core count.
+inline std::vector<std::size_t> thread_sweep() {
+  const std::size_t hw =
+      std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  std::vector<std::size_t> sweep = {1, 2, 4};
+  if (hw > 4) sweep.push_back(hw);
+  return sweep;
+}
+
+/// RAII attachment of a pool to the global linalg context, so the pool is
+/// detached before destruction even when a sampler throws mid-sweep.
+class ScopedLinalgPool {
+ public:
+  explicit ScopedLinalgPool(ThreadPool* pool) { set_linalg_pool(pool); }
+  ~ScopedLinalgPool() { set_linalg_pool(nullptr); }
+  ScopedLinalgPool(const ScopedLinalgPool&) = delete;
+  ScopedLinalgPool& operator=(const ScopedLinalgPool&) = delete;
+};
+
+/// One pool size's measurements from run_thread_sweep.
+struct SweepPoint {
+  std::size_t pool_size = 0;
+  double wall_ms = 0.0;   ///< mean per repeat
+  double speedup = 1.0;   ///< vs the pool-size-1 point
+  bool identical = true;  ///< sample matches the pool-size-1 reference
+  std::vector<int> items; ///< the (repeat-invariant per seed) last sample
+  PramStats pram;         ///< ledger accumulated over all repeats
+};
+
+/// Shared thread-sweep harness: for each pool size in thread_sweep(),
+/// builds a pool, attaches it to an ExecutionContext (with a fresh
+/// PramLedger) and to the linalg hook, runs `sample(ctx)` `repeats`
+/// times, and records wall clock, speedup, PRAM stats, and whether the
+/// sample is identical to the pool-size-1 reference. The callback must
+/// reseed its own RandomStream per repeat so every run draws the same
+/// sample.
+template <typename SampleFn>
+std::vector<SweepPoint> run_thread_sweep(int repeats, SampleFn&& sample) {
+  std::vector<SweepPoint> points;
+  for (const std::size_t threads : thread_sweep()) {
+    ThreadPool pool(threads);
+    const ScopedLinalgPool linalg_guard(&pool);
+    PramLedger ledger;
+    const ExecutionContext ctx(&pool, &ledger);
+    SweepPoint point;
+    point.pool_size = threads;
+    Timer timer;
+    for (int r = 0; r < repeats; ++r) point.items = sample(ctx);
+    point.wall_ms = timer.millis() / repeats;
+    point.pram = ledger.stats();
+    if (points.empty()) {
+      points.push_back(std::move(point));
+      continue;
+    }
+    point.speedup = points.front().wall_ms / point.wall_ms;
+    point.identical = points.front().items == point.items;
+    points.push_back(std::move(point));
+  }
+  return points;
+}
+
+/// Accumulates flat records and writes them as a JSON array — the
+/// machine-readable counterpart of one printed table (BENCH_*.json), so
+/// the speedup trajectory can be tracked across PRs.
+class JsonSeries {
+ public:
+  using Field = std::pair<std::string, std::string>;
+
+  /// `number(...)` fields are emitted bare; `text(...)` fields quoted.
+  static Field number(std::string key, double value, int precision = 6) {
+    return {std::move(key), fmt(value, precision)};
+  }
+  static Field number(std::string key, std::size_t value) {
+    return {std::move(key), fmt_int(value)};
+  }
+  static Field text(std::string key, const std::string& value) {
+    std::string quoted = "\"";
+    for (const char c : value) {
+      if (c == '"' || c == '\\') quoted.push_back('\\');
+      quoted.push_back(c);
+    }
+    quoted.push_back('"');
+    return {std::move(key), std::move(quoted)};
+  }
+
+  void add_record(const std::vector<Field>& fields) {
+    std::string record = "  {";
+    for (std::size_t i = 0; i < fields.size(); ++i) {
+      if (i != 0) record += ", ";
+      record += "\"" + fields[i].first + "\": " + fields[i].second;
+    }
+    record += "}";
+    records_.push_back(std::move(record));
+  }
+
+  /// Writes `path` ("BENCH_<name>.json") and reports where.
+  void write(const std::string& path) const {
+    std::ofstream out(path);
+    if (!out) {
+      std::printf("! could not write %s\n", path.c_str());
+      return;
+    }
+    out << "[\n";
+    for (std::size_t i = 0; i < records_.size(); ++i) {
+      out << records_[i];
+      if (i + 1 < records_.size()) out << ",";
+      out << "\n";
+    }
+    out << "]\n";
+    std::printf("wrote %s (%zu records)\n", path.c_str(), records_.size());
+  }
+
+ private:
+  std::vector<std::string> records_;
+};
 
 }  // namespace pardpp::bench

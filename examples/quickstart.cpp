@@ -60,10 +60,13 @@ int main() {
   Matrix l = rbf_kernel(points, 0.18);
   for (std::size_t i = 0; i < n; ++i) l(i, i) += 1e-6;  // numerical floor
 
-  // 2. Counting oracle for the k-DPP, and one exact parallel sample.
+  // 2. Counting oracle for the k-DPP, and one exact parallel sample. The
+  // ExecutionContext fans each round's proposal machines out on the
+  // shared pool; the same seed yields the same sample at any pool size.
   const SymmetricKdppOracle oracle(l, k);
   PramLedger ledger;
-  const SampleResult sample = sample_batched(oracle, rng, &ledger);
+  const ExecutionContext ctx = ExecutionContext::on_shared_pool(&ledger);
+  const SampleResult sample = sample_batched(oracle, rng, ctx);
 
   std::printf("k-DPP sample (# = selected of %zu points):\n", n);
   ascii_scatter(points, sample.items);

@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "parallel/execution.h"
 #include "support/error.h"
 
 namespace pardpp {
@@ -53,6 +54,27 @@ class CountingOracle {
 
   /// Family name, for diagnostics.
   [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Primes any lazily built internal state (eigendecompositions, node
+  /// caches) so that subsequent const queries are data-race-free when
+  /// issued from multiple threads. Implementations with lazy caches must
+  /// override; stateless oracles need not.
+  virtual void prepare_concurrent() const {}
+
+  /// Batch counting query — one PRAM round of |ts| independent queries
+  /// issued together: out[q] = log_joint_marginal(ts[q]). The queries
+  /// are spans into caller-owned storage (the samplers pass views over
+  /// their proposal batches; nothing is copied). The default primes the
+  /// lazy caches once, then services the queries concurrently on the
+  /// context's pool; each query works on disjoint scratch.
+  virtual void query_many(std::span<const std::span<const int>> ts,
+                          std::span<double> out,
+                          const ExecutionContext& ctx) const {
+    check_arg(ts.size() == out.size(), "query_many: output size mismatch");
+    prepare_concurrent();
+    ctx.for_each(0, ts.size(),
+                 [&](std::size_t q) { out[q] = log_joint_marginal(ts[q]); });
+  }
 };
 
 /// Maps indices of a repeatedly conditioned ground set back to original

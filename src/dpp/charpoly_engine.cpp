@@ -5,6 +5,7 @@
 #include <numbers>
 
 #include "linalg/lu.h"
+#include "parallel/execution.h"
 #include "support/error.h"
 #include "support/logsum.h"
 
@@ -121,7 +122,9 @@ void CharPolyEngine::build_cache() const {
   cache.node_w.resize(cache.grid_size * num_parts_);
 
   const CMatrix mc = to_complex(m_);
-  for (std::size_t g = 0; g < cache.grid_size; ++g) {
+  // One complex LU + inverse per node, each on disjoint cache slots: a
+  // textbook wide round, fanned out on the linalg pool.
+  linalg_context().for_each(0, cache.grid_size, [&](std::size_t g) {
     // Decode the multi-index of grid node g (axis 0 slowest).
     std::vector<std::complex<double>> w(num_parts_);
     {
@@ -152,7 +155,7 @@ void CharPolyEngine::build_cache() const {
     cache.log_det[g] = det.log_abs;
     cache.det_phase[g] = det.phase;
     cache.inverse[g] = lu.inverse();
-  }
+  });
   cache_ = std::move(cache);
 }
 
@@ -221,8 +224,8 @@ LogCoefficient CharPolyEngine::log_count_superset(std::span<const int> t,
   }
   std::vector<std::complex<double>> phases(c.grid_size);
   std::vector<double> logs(c.grid_size, kNegInf);
-  CMatrix ct(tsize, tsize);
-  for (std::size_t g = 0; g < c.grid_size; ++g) {
+  // Independent t x t solves per node — the per-proposal hot path.
+  const auto solve_node = [&](std::size_t g, CMatrix& ct) {
     const CMatrix& inv = c.inverse[g];
     // (C_T)_{r r'} = δ + (1 - w_r)(M A^{-1})_{r r'} - A^{-1}_{r r'} with
     // (M A^{-1})_{r r'} = (δ - A^{-1}_{r r'}) / w_r, w_r = w_{p(t_r)}.
@@ -242,11 +245,22 @@ LogCoefficient CharPolyEngine::log_count_superset(std::span<const int> t,
     if (lu.singular()) {
       logs[g] = kNegInf;
       phases[g] = {0.0, 0.0};
-      continue;
+      return;
     }
     const auto det = lu.log_det();
     logs[g] = c.log_det[g] + det.log_abs;
     phases[g] = c.det_phase[g] * det.phase;
+  };
+  const ExecutionContext& ctx = linalg_context();
+  if (ctx.can_fan_out()) {
+    // Parallel bodies own private scratch.
+    ctx.for_each(0, c.grid_size, [&](std::size_t g) {
+      CMatrix ct(tsize, tsize);
+      solve_node(g, ct);
+    });
+  } else {
+    CMatrix ct(tsize, tsize);  // hoisted, reused across nodes
+    for (std::size_t g = 0; g < c.grid_size; ++g) solve_node(g, ct);
   }
   return extract_coefficient(phases, logs, j);
 }
@@ -255,10 +269,9 @@ std::vector<LogCoefficient> CharPolyEngine::marginal_numerators() const {
   const auto& c = cache();
   const std::size_t n = ground_size();
   std::vector<LogCoefficient> out(n);
-  std::vector<std::complex<double>> phases(c.grid_size);
-  std::vector<double> logs(c.grid_size);
-  for (std::size_t i = 0; i < n; ++i) {
-    // sum_{S ∋ i} det(M_S) prod w^counts = det(A) (1 - A^{-1}_{ii}).
+  // sum_{S ∋ i} det(M_S) prod w^counts = det(A) (1 - A^{-1}_{ii}).
+  const auto element = [&](std::size_t i, std::vector<std::complex<double>>& phases,
+                           std::vector<double>& logs) {
     for (std::size_t g = 0; g < c.grid_size; ++g) {
       const std::complex<double> factor = 1.0 - c.inverse[g](i, i);
       const double mag = std::abs(factor);
@@ -271,6 +284,20 @@ std::vector<LogCoefficient> CharPolyEngine::marginal_numerators() const {
       }
     }
     out[i] = extract_coefficient(phases, logs, target_counts_);
+  };
+  const ExecutionContext& ctx = linalg_context();
+  if (ctx.can_fan_out()) {
+    // All n numerators are one wide round over the shared node cache;
+    // per-element scratch keeps the bodies disjoint.
+    ctx.for_each(0, n, [&](std::size_t i) {
+      std::vector<std::complex<double>> phases(c.grid_size);
+      std::vector<double> logs(c.grid_size);
+      element(i, phases, logs);
+    });
+  } else {
+    std::vector<std::complex<double>> phases(c.grid_size);  // hoisted
+    std::vector<double> logs(c.grid_size);
+    for (std::size_t i = 0; i < n; ++i) element(i, phases, logs);
   }
   return out;
 }

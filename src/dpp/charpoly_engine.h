@@ -71,6 +71,10 @@ class CharPolyEngine {
   /// sum_{S ∋ i : counts(S) = target_counts} det(M_S).
   [[nodiscard]] std::vector<LogCoefficient> marginal_numerators() const;
 
+  /// Forces the lazy node cache to be built now. After warm() every query
+  /// above only reads the cache, so concurrent queries are data-race-free.
+  void warm() const { (void)cache(); }
+
  private:
   struct Cache {
     std::vector<std::size_t> axis_nodes;   // N_a per axis

@@ -107,4 +107,9 @@ std::unique_ptr<CountingOracle> FeatureKdppOracle::clone() const {
   return std::make_unique<FeatureKdppOracle>(features_, k_);
 }
 
+void FeatureKdppOracle::prepare_concurrent() const {
+  (void)eigen();
+  (void)esp();
+}
+
 }  // namespace pardpp

@@ -35,6 +35,7 @@ class FeatureKdppOracle final : public CountingOracle {
       std::span<const int> t) const override;
   [[nodiscard]] std::unique_ptr<CountingOracle> clone() const override;
   [[nodiscard]] std::string name() const override { return "feature-kdpp"; }
+  void prepare_concurrent() const override;
 
   [[nodiscard]] const Matrix& features() const noexcept { return features_; }
 

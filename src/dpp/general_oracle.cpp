@@ -121,4 +121,6 @@ std::unique_ptr<CountingOracle> GeneralDppOracle::clone() const {
   return copy;
 }
 
+void GeneralDppOracle::prepare_concurrent() const { engine().warm(); }
+
 }  // namespace pardpp

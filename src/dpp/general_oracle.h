@@ -36,6 +36,7 @@ class GeneralDppOracle final : public CountingOracle {
       std::span<const int> t) const override;
   [[nodiscard]] std::unique_ptr<CountingOracle> clone() const override;
   [[nodiscard]] std::string name() const override { return "general-dpp"; }
+  void prepare_concurrent() const override;
 
   [[nodiscard]] const Matrix& ensemble() const noexcept { return l_; }
   [[nodiscard]] std::span<const int> part_of() const { return part_of_; }

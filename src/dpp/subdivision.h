@@ -45,6 +45,7 @@ class SubdividedOracle final : public CountingOracle {
   [[nodiscard]] std::string name() const override {
     return "subdivided(" + base_->name() + ")";
   }
+  void prepare_concurrent() const override { base_->prepare_concurrent(); }
 
   /// Base element (current base indexing) behind copy `c`; -1 for dead
   /// copies (their original was conditioned away through a sibling).

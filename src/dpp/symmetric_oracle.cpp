@@ -113,4 +113,9 @@ std::unique_ptr<CountingOracle> SymmetricKdppOracle::clone() const {
   return std::make_unique<SymmetricKdppOracle>(l_, k_, /*validate=*/false);
 }
 
+void SymmetricKdppOracle::prepare_concurrent() const {
+  (void)eigen();
+  (void)esp();
+}
+
 }  // namespace pardpp

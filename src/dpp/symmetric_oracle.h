@@ -35,6 +35,7 @@ class SymmetricKdppOracle final : public CountingOracle {
   [[nodiscard]] std::string name() const override {
     return "symmetric-kdpp";
   }
+  void prepare_concurrent() const override;
 
   /// The (conditional) ensemble matrix.
   [[nodiscard]] const Matrix& ensemble() const noexcept { return l_; }

@@ -5,6 +5,7 @@
 #include <numbers>
 
 #include "linalg/lu.h"
+#include "parallel/execution.h"
 #include "support/error.h"
 
 namespace pardpp {
@@ -64,8 +65,9 @@ std::vector<LogCoefficient> charpoly_log_coeffs(const Matrix& m,
   std::vector<double> log_abs(num_nodes);
   std::vector<std::complex<double>> phase(num_nodes);
   const double tau = 2.0 * std::numbers::pi / static_cast<double>(num_nodes);
-#pragma omp parallel for schedule(dynamic)
-  for (std::size_t t = 0; t < num_nodes; ++t) {
+  // One independent shifted LU per node — the per-shift solves fan out on
+  // the linalg pool (each body writes its own slot only).
+  linalg_context().for_each(0, num_nodes, [&](std::size_t t) {
     const std::complex<double> z =
         radius * std::polar(1.0, tau * static_cast<double>(t));
     CMatrix a = mc * z;
@@ -74,7 +76,7 @@ std::vector<LogCoefficient> charpoly_log_coeffs(const Matrix& m,
     const auto det = lu.log_det();
     log_abs[t] = det.log_abs;
     phase[t] = det.phase;
-  }
+  });
 
   // Common-scale inverse DFT: c_j * rho^j = (1/N) sum_t v_t w^{-jt}.
   double scale = kNegInf;

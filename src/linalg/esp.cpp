@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "parallel/execution.h"
 #include "support/error.h"
 
 namespace pardpp {
@@ -34,17 +35,31 @@ LogEspTable::LogEspTable(std::span<const double> lambda, std::size_t jmax)
     : n_(lambda.size()), jmax_(jmax) {
   prefix_.resize(n_ + 1);
   suffix_.resize(n_ + 1);
-  prefix_[0].assign(jmax + 1, kNegInf);
-  prefix_[0][0] = 0.0;
-  for (std::size_t m = 0; m < n_; ++m) {
-    prefix_[m + 1] = prefix_[m];
-    esp_step(prefix_[m + 1], log_value(lambda[m]), jmax);
-  }
-  suffix_[n_].assign(jmax + 1, kNegInf);
-  suffix_[n_][0] = 0.0;
-  for (std::size_t m = n_; m-- > 0;) {
-    suffix_[m] = suffix_[m + 1];
-    esp_step(suffix_[m], log_value(lambda[m]), jmax);
+  // The two per-shift recurrence sweeps are independent of each other;
+  // they run as one fork-join pair on the linalg pool when the table is
+  // big enough to pay the dispatch.
+  const auto build_prefix = [&] {
+    prefix_[0].assign(jmax + 1, kNegInf);
+    prefix_[0][0] = 0.0;
+    for (std::size_t m = 0; m < n_; ++m) {
+      prefix_[m + 1] = prefix_[m];
+      esp_step(prefix_[m + 1], log_value(lambda[m]), jmax);
+    }
+  };
+  const auto build_suffix = [&] {
+    suffix_[n_].assign(jmax + 1, kNegInf);
+    suffix_[n_][0] = 0.0;
+    for (std::size_t m = n_; m-- > 0;) {
+      suffix_[m] = suffix_[m + 1];
+      esp_step(suffix_[m], log_value(lambda[m]), jmax);
+    }
+  };
+  const ExecutionContext& ctx = linalg_context();
+  if (ctx.can_fan_out() && n_ * (jmax + 1) >= 1u << 12) {
+    parallel_invoke(*ctx.pool(), {build_prefix, build_suffix});
+  } else {
+    build_prefix();
+    build_suffix();
   }
 }
 

@@ -16,6 +16,7 @@
 #include <span>
 #include <vector>
 
+#include "parallel/execution.h"
 #include "support/error.h"
 
 namespace pardpp {
@@ -136,13 +137,14 @@ class BasicMatrix {
     return a;
   }
 
-  /// Matrix product (ikj loop order for cache friendliness).
+  /// Matrix product (ikj loop order for cache friendliness). Row blocks
+  /// fan out on the linalg execution context when the matrix is large
+  /// enough to amortize the dispatch; each body owns a disjoint output row.
   [[nodiscard]] friend BasicMatrix operator*(const BasicMatrix& a,
                                              const BasicMatrix& b) {
     check_arg(a.cols_ == b.rows_, "matrix *: inner dimension mismatch");
     BasicMatrix out(a.rows_, b.cols_);
-#pragma omp parallel for schedule(static) if (a.rows_ > 64)
-    for (std::size_t i = 0; i < a.rows_; ++i) {
+    const auto compute_row = [&](std::size_t i) {
       for (std::size_t k = 0; k < a.cols_; ++k) {
         const T aik = a(i, k);
         if (aik == T{}) continue;
@@ -150,6 +152,12 @@ class BasicMatrix {
         T* orow = out.data_.data() + i * out.cols_;
         for (std::size_t j = 0; j < b.cols_; ++j) orow[j] += aik * brow[j];
       }
+    };
+    const ExecutionContext& ctx = linalg_context();
+    if (a.rows_ >= 64 && ctx.can_fan_out()) {
+      ctx.for_each(0, a.rows_, compute_row);
+    } else {
+      for (std::size_t i = 0; i < a.rows_; ++i) compute_row(i);
     }
     return out;
   }

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <numeric>
 
+#include "parallel/execution.h"
 #include "support/error.h"
 
 namespace pardpp {
@@ -81,14 +82,25 @@ void tred2(Matrix& z, std::vector<double>& d, std::vector<double>& e,
   for (int i = 0; i < n; ++i) {
     const int l = i - 1;
     if (d[static_cast<std::size_t>(i)] != 0.0) {
-      for (int j = 0; j <= l; ++j) {
+      // Applying Householder rotation i to the accumulated transformation:
+      // each column j reads only row i / column i (never written here) and
+      // writes only column j, so the columns are one parallel round. This
+      // is the O(n^3) term of the reduction.
+      const auto rotate_column = [&](std::size_t j) {
         double g = 0.0;
         for (int k = 0; k <= l; ++k)
           g += z(static_cast<std::size_t>(i), static_cast<std::size_t>(k)) *
-               z(static_cast<std::size_t>(k), static_cast<std::size_t>(j));
+               z(static_cast<std::size_t>(k), j);
         for (int k = 0; k <= l; ++k)
-          z(static_cast<std::size_t>(k), static_cast<std::size_t>(j)) -=
+          z(static_cast<std::size_t>(k), j) -=
               g * z(static_cast<std::size_t>(k), static_cast<std::size_t>(i));
+      };
+      const ExecutionContext& ctx = linalg_context();
+      if (l >= 127 && ctx.can_fan_out()) {
+        ctx.for_each(0, static_cast<std::size_t>(l + 1), rotate_column);
+      } else {
+        for (int j = 0; j <= l; ++j)
+          rotate_column(static_cast<std::size_t>(j));
       }
     }
     d[static_cast<std::size_t>(i)] =

@@ -1,0 +1,20 @@
+#include "parallel/execution.h"
+
+namespace pardpp {
+
+namespace {
+ExecutionContext& mutable_linalg_context() noexcept {
+  static ExecutionContext context;  // serial until a pool is attached
+  return context;
+}
+}  // namespace
+
+const ExecutionContext& linalg_context() noexcept {
+  return mutable_linalg_context();
+}
+
+void set_linalg_pool(ThreadPool* pool) noexcept {
+  mutable_linalg_context() = ExecutionContext(pool, nullptr);
+}
+
+}  // namespace pardpp

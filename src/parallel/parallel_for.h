@@ -6,6 +6,7 @@
 // beyond what the caller partitions explicitly).
 #pragma once
 
+#include <exception>
 #include <functional>
 #include <future>
 #include <vector>
@@ -14,16 +15,58 @@
 
 namespace pardpp {
 
+namespace detail {
+
+/// Set while the current thread is executing a parallel_for body on a pool
+/// worker. Nested parallel_for calls degenerate to serial loops instead of
+/// re-submitting to the pool: a worker that blocks on futures of tasks the
+/// exhausted pool can never start would deadlock (recursive samplers, and
+/// oracles that parallelize internally underneath a parallel sampler round,
+/// both hit this).
+inline thread_local bool in_parallel_worker = false;
+
+struct ParallelWorkerScope {
+  bool previous;
+  ParallelWorkerScope() noexcept : previous(in_parallel_worker) {
+    in_parallel_worker = true;
+  }
+  ~ParallelWorkerScope() { in_parallel_worker = previous; }
+};
+
+/// Waits for every future, then rethrows the first stored exception.
+/// Rethrowing before the join would unwind caller state (the body
+/// closure, its captured scratch) while later chunks still execute it.
+inline void join_all(std::vector<std::future<void>>& futures) {
+  std::exception_ptr first;
+  for (auto& f : futures) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first) first = std::current_exception();
+    }
+  }
+  if (first) std::rethrow_exception(first);
+}
+
+}  // namespace detail
+
+/// True when called from inside a parallel_for body; nested rounds run
+/// serially on the occupied worker.
+[[nodiscard]] inline bool in_parallel_region() noexcept {
+  return detail::in_parallel_worker;
+}
+
 /// Runs fn(i) for i in [begin, end) on the pool, blocking until all bodies
 /// complete. Bodies must write to disjoint state. Degenerates to a serial
-/// loop when the range is small or the pool has a single worker.
+/// loop when the range is small, the pool has a single worker, or the call
+/// is already nested inside another parallel_for body.
 template <typename Fn>
 void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
                   Fn&& fn) {
   const std::size_t count = end > begin ? end - begin : 0;
   if (count == 0) return;
   const std::size_t workers = pool.size();
-  if (count == 1 || workers <= 1) {
+  if (count == 1 || workers <= 1 || detail::in_parallel_worker) {
     for (std::size_t i = begin; i < end; ++i) fn(i);
     return;
   }
@@ -36,10 +79,11 @@ void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
     if (lo >= end) break;
     const std::size_t hi = std::min(end, lo + chunk_size);
     futures.push_back(pool.submit([lo, hi, &fn] {
+      const detail::ParallelWorkerScope scope;
       for (std::size_t i = lo; i < hi; ++i) fn(i);
     }));
   }
-  for (auto& f : futures) f.get();
+  detail::join_all(futures);
 }
 
 /// Convenience overload on the shared pool.
@@ -49,12 +93,23 @@ void parallel_for(std::size_t begin, std::size_t end, Fn&& fn) {
 }
 
 /// Runs a set of independent thunks concurrently and waits for all of them.
+/// Degenerates to serial execution when nested inside a parallel_for body
+/// (same deadlock-avoidance rationale as above).
 inline void parallel_invoke(ThreadPool& pool,
                             std::vector<std::function<void()>> thunks) {
+  if (pool.size() <= 1 || detail::in_parallel_worker) {
+    for (auto& thunk : thunks) thunk();
+    return;
+  }
   std::vector<std::future<void>> futures;
   futures.reserve(thunks.size());
-  for (auto& thunk : thunks) futures.push_back(pool.submit(std::move(thunk)));
-  for (auto& f : futures) f.get();
+  for (auto& thunk : thunks) {
+    futures.push_back(pool.submit([thunk = std::move(thunk)] {
+      const detail::ParallelWorkerScope scope;
+      thunk();
+    }));
+  }
+  detail::join_all(futures);
 }
 
 }  // namespace pardpp

@@ -12,6 +12,7 @@
 #include "support/timer.h"
 
 // Parallel substrate + PRAM cost model
+#include "parallel/execution.h"
 #include "parallel/parallel_for.h"
 #include "parallel/pram.h"
 #include "parallel/thread_pool.h"

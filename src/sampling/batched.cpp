@@ -11,9 +11,24 @@ namespace pardpp {
 
 namespace detail {
 
+namespace {
+
+// One speculative proposal trial: everything machine m computes before the
+// oracle round, plus its private stream for the accept draw afterwards.
+struct ProposalTrial {
+  RandomStream stream{0};
+  std::vector<int> batch;
+  double log_proposal = 0.0;
+  bool duplicate = false;
+  double log_joint = kNegInf;
+};
+
+}  // namespace
+
 std::optional<std::vector<int>> run_batch_round(
     const CountingOracle& mu, std::span<const double> marginals,
-    const BatchRound& config, RandomStream& rng, SampleDiagnostics& diag) {
+    const BatchRound& config, RandomStream& rng, const ExecutionContext& ctx,
+    SampleDiagnostics& diag) {
   const std::size_t k = mu.sample_size();
   const std::size_t t = config.batch;
   check_arg(t >= 1 && t <= k, "run_batch_round: invalid batch size");
@@ -23,52 +38,83 @@ std::optional<std::vector<int>> run_batch_round(
     log_falling += std::log(static_cast<double>(k - r));
   const double log_k = std::log(static_cast<double>(k));
 
-  std::vector<double> weights(marginals.begin(), marginals.end());
-  std::vector<int> batch(t);
-  std::vector<bool> seen(mu.ground_size(), false);
-  for (std::size_t trial = 0; trial < config.machines; ++trial) {
-    ++diag.proposals;
-    // t i.i.d. draws from p / k.
-    bool duplicate = false;
-    double log_proposal = 0.0;
-    for (std::size_t r = 0; r < t; ++r) {
-      const auto pick = static_cast<int>(rng.categorical(weights));
-      batch[r] = pick;
-      log_proposal += std::log(weights[static_cast<std::size_t>(pick)]) - log_k;
-      if (seen[static_cast<std::size_t>(pick)]) duplicate = true;
-      seen[static_cast<std::size_t>(pick)] = true;
-    }
-    for (const int b : batch) seen[static_cast<std::size_t>(b)] = false;
-    if (duplicate) {
-      // Two copies of one element: target mass zero, certain rejection.
-      ++diag.duplicate_rejects;
-      continue;
-    }
-    const double log_joint = mu.log_joint_marginal(batch);
-    ++diag.oracle_calls;
-    if (log_joint == kNegInf) {
-      ++diag.duplicate_rejects;
-      continue;
-    }
-    const double log_ratio = log_joint - log_falling - log_proposal;
-    if (log_ratio > config.log_cap + 1e-9) {
-      // Outside Omega (Algorithm 3); for Lemma 27-compliant targets this
-      // is a numerical impossibility and the tests assert it stays zero.
-      ++diag.ratio_overflows;
-      continue;
-    }
-    if (rng.bernoulli(std::exp(log_ratio - config.log_cap))) {
-      ++diag.accepted_batches;
-      return batch;
-    }
-  }
-  return std::nullopt;
+  const std::vector<double> weights(marginals.begin(), marginals.end());
+  std::vector<std::span<const int>> queries;  // views into trial batches
+  std::vector<std::size_t> query_owner;
+  std::vector<double> answers;
+  std::optional<std::vector<int>> accepted;
+  run_trial_waves<ProposalTrial>(
+      ctx, config.machines, rng,
+      // Evaluate: machine m draws its t i.i.d. picks from p / k on its
+      // private stream, concurrently with the rest of the wave.
+      [&](ProposalTrial& trial, RandomStream stream) {
+        trial.stream = stream;
+        trial.batch.resize(t);
+        for (std::size_t r = 0; r < t; ++r) {
+          const auto pick =
+              static_cast<int>(trial.stream.categorical(weights));
+          trial.batch[r] = pick;
+          trial.log_proposal +=
+              std::log(weights[static_cast<std::size_t>(pick)]) - log_k;
+          for (std::size_t prev = 0; prev < r && !trial.duplicate; ++prev)
+            trial.duplicate = trial.batch[prev] == pick;
+        }
+      },
+      // Barrier: the wave's counting queries, issued to the oracle as one
+      // batch round (duplicate proposals have target mass zero and are
+      // never queried).
+      [&](std::span<ProposalTrial> wave) {
+        queries.clear();
+        query_owner.clear();
+        for (std::size_t w = 0; w < wave.size(); ++w) {
+          if (wave[w].duplicate) continue;
+          queries.emplace_back(wave[w].batch);
+          query_owner.push_back(w);
+        }
+        answers.assign(queries.size(), kNegInf);
+        if (queries.empty()) return;
+        mu.query_many(queries, answers, ctx);
+        for (std::size_t q = 0; q < queries.size(); ++q)
+          wave[query_owner[q]].log_joint = answers[q];
+      },
+      // Fold: accept/reject in machine order. Counters cover scanned
+      // trials only, so diagnostics are identical at every pool size.
+      [&](ProposalTrial& trial) {
+        ++diag.proposals;
+        if (trial.duplicate) {
+          // Two copies of one element: target mass zero, certain
+          // rejection (no counting query was issued).
+          ++diag.duplicate_rejects;
+          return false;
+        }
+        ++diag.oracle_calls;
+        if (trial.log_joint == kNegInf) {
+          ++diag.duplicate_rejects;
+          return false;
+        }
+        const double log_ratio =
+            trial.log_joint - log_falling - trial.log_proposal;
+        if (log_ratio > config.log_cap + 1e-9) {
+          // Outside Omega (Algorithm 3); for Lemma 27-compliant targets
+          // this is a numerical impossibility and the tests assert it
+          // stays zero.
+          ++diag.ratio_overflows;
+          return false;
+        }
+        if (trial.stream.bernoulli(std::exp(log_ratio - config.log_cap))) {
+          ++diag.accepted_batches;
+          accepted = std::move(trial.batch);
+          return true;
+        }
+        return false;
+      });
+  return accepted;
 }
 
 }  // namespace detail
 
 SampleResult sample_batched(const CountingOracle& mu, RandomStream& rng,
-                            PramLedger* ledger,
+                            const ExecutionContext& ctx,
                             const BatchedOptions& options) {
   SampleResult result;
   IndexTracker tracker(mu.ground_size());
@@ -89,7 +135,7 @@ SampleResult sample_batched(const CountingOracle& mu, RandomStream& rng,
 
     // One parallel round of counting queries: all marginals.
     const std::vector<double> p = current->marginals();
-    charge_round(ledger, m, m);
+    ctx.charge(m, m);
     result.diag.oracle_calls += m;
 
     detail::BatchRound config;
@@ -104,10 +150,10 @@ SampleResult sample_batched(const CountingOracle& mu, RandomStream& rng,
         machines_needed, static_cast<double>(options.machine_cap)));
 
     auto batch =
-        detail::run_batch_round(*current, p, config, rng, result.diag);
+        detail::run_batch_round(*current, p, config, rng, ctx, result.diag);
     // The proposal batch runs as one parallel round of `machines`
     // rejection evaluations (one counting query each).
-    charge_round(ledger, config.machines, config.machines);
+    ctx.charge(config.machines, config.machines);
     result.diag.rounds += 1;
     if (!batch.has_value()) {
       throw SamplingFailure(
@@ -119,8 +165,14 @@ SampleResult sample_batched(const CountingOracle& mu, RandomStream& rng,
     tracker.remove(std::move(*batch));
   }
   std::sort(result.items.begin(), result.items.end());
-  if (ledger != nullptr) result.diag.pram = ledger->stats();
+  if (ctx.ledger() != nullptr) result.diag.pram = ctx.ledger()->stats();
   return result;
+}
+
+SampleResult sample_batched(const CountingOracle& mu, RandomStream& rng,
+                            PramLedger* ledger,
+                            const BatchedOptions& options) {
+  return sample_batched(mu, rng, ExecutionContext::serial(ledger), options);
 }
 
 }  // namespace pardpp

@@ -9,11 +9,19 @@
 // success. Proposals for one round are issued as one parallel round of
 // machines = C log(1/delta') (Prop. 25); Prop. 28 bounds the number of
 // rounds by 2 sqrt(k).
+//
+// Execution: the round's machines are physically fanned out on the
+// ExecutionContext's pool in waves (execution.h conventions). Machine m
+// draws from its own forked stream, the round's counting queries are
+// issued through CountingOracle::query_many as one batch, and the accepted
+// proposal is the lowest-index acceptance — so a fixed seed yields the
+// identical sample at every pool size.
 #pragma once
 
 #include <optional>
 
 #include "distributions/oracle.h"
+#include "parallel/execution.h"
 #include "parallel/pram.h"
 #include "sampling/diagnostics.h"
 #include "support/random.h"
@@ -36,9 +44,19 @@ struct BatchedOptions {
   std::size_t machine_cap = 1u << 20;
 };
 
-/// Samples from the oracle's distribution via Algorithm 1. Exact (given a
-/// valid cap) conditioned on not throwing SamplingFailure; the failure
+/// Samples from the oracle's distribution via Algorithm 1, executing each
+/// round's proposal machines on the context's pool. Exact (given a valid
+/// cap) conditioned on not throwing SamplingFailure; the failure
 /// probability is at most `failure_prob` for Lemma 27-compliant targets.
+[[nodiscard]] SampleResult sample_batched(const CountingOracle& mu,
+                                          RandomStream& rng,
+                                          const ExecutionContext& ctx,
+                                          const BatchedOptions& options = {});
+
+/// Legacy ledger-only entry point: serial execution. Note: rounds now
+/// draw from per-machine forked streams (execution.h), so the
+/// seed-to-sample mapping differs from builds that predate
+/// ExecutionContext — fixed-seed outputs recorded then will not match.
 [[nodiscard]] SampleResult sample_batched(const CountingOracle& mu,
                                           RandomStream& rng,
                                           PramLedger* ledger = nullptr,
@@ -58,7 +76,8 @@ struct BatchRound {
 
 [[nodiscard]] std::optional<std::vector<int>> run_batch_round(
     const CountingOracle& mu, std::span<const double> marginals,
-    const BatchRound& config, RandomStream& rng, SampleDiagnostics& diag);
+    const BatchRound& config, RandomStream& rng, const ExecutionContext& ctx,
+    SampleDiagnostics& diag);
 
 }  // namespace detail
 

@@ -31,7 +31,7 @@ double lemma36_cap(std::size_t l, std::size_t k, std::size_t n,
 }  // namespace
 
 SampleResult sample_entropic(const CountingOracle& mu, RandomStream& rng,
-                             PramLedger* ledger,
+                             const ExecutionContext& ctx,
                              const EntropicOptions& options) {
   check_arg(options.c > 0.0 && options.c <= 0.5,
             "sample_entropic: need 0 < c <= 1/2");
@@ -65,7 +65,7 @@ SampleResult sample_entropic(const CountingOracle& mu, RandomStream& rng,
     }
     const std::size_t m = round_oracle->ground_size();
     const std::vector<double> p = round_oracle->marginals();
-    charge_round(ledger, m, m);
+    ctx.charge(m, m);
     result.diag.oracle_calls += m;
 
     detail::BatchRound config;
@@ -86,9 +86,9 @@ SampleResult sample_entropic(const CountingOracle& mu, RandomStream& rng,
     config.machines = static_cast<std::size_t>(std::min(
         machines_needed, static_cast<double>(options.machine_cap)));
 
-    auto batch =
-        detail::run_batch_round(*round_oracle, p, config, rng, result.diag);
-    charge_round(ledger, config.machines, config.machines);
+    auto batch = detail::run_batch_round(*round_oracle, p, config, rng, ctx,
+                                         result.diag);
+    ctx.charge(config.machines, config.machines);
     result.diag.rounds += 1;
     if (!batch.has_value()) {
       throw SamplingFailure(
@@ -108,8 +108,14 @@ SampleResult sample_entropic(const CountingOracle& mu, RandomStream& rng,
     tracker.remove(std::move(base_batch));
   }
   std::sort(result.items.begin(), result.items.end());
-  if (ledger != nullptr) result.diag.pram = ledger->stats();
+  if (ctx.ledger() != nullptr) result.diag.pram = ctx.ledger()->stats();
   return result;
+}
+
+SampleResult sample_entropic(const CountingOracle& mu, RandomStream& rng,
+                             PramLedger* ledger,
+                             const EntropicOptions& options) {
+  return sample_entropic(mu, rng, ExecutionContext::serial(ledger), options);
 }
 
 }  // namespace pardpp

@@ -19,6 +19,7 @@
 #include <limits>
 
 #include "distributions/oracle.h"
+#include "parallel/execution.h"
 #include "parallel/pram.h"
 #include "sampling/diagnostics.h"
 #include "support/random.h"
@@ -46,10 +47,18 @@ struct EntropicOptions {
   std::size_t machine_cap = 1u << 20;
 };
 
-/// Approximate sample via batched modified rejection sampling. Throws
+/// Approximate sample via batched modified rejection sampling, executing
+/// each round's proposal machines on the context's pool. Throws
 /// SamplingFailure when a round exhausts its machine budget. The
 /// diagnostics report ratio_overflows — the measure of the Omega
 /// restriction actually encountered.
+[[nodiscard]] SampleResult sample_entropic(const CountingOracle& mu,
+                                           RandomStream& rng,
+                                           const ExecutionContext& ctx,
+                                           const EntropicOptions& options = {});
+
+/// Legacy ledger-only entry point: serial execution. The seed-to-sample
+/// mapping differs from pre-ExecutionContext builds (see batched.h).
 [[nodiscard]] SampleResult sample_entropic(const CountingOracle& mu,
                                            RandomStream& rng,
                                            PramLedger* ledger = nullptr,

@@ -13,8 +13,27 @@
 
 namespace pardpp {
 
+namespace {
+
+// One speculative Bernoulli-product proposal of the Lemma 44 rejection
+// stage, fully evaluated on machine m's private stream: the proposal, its
+// det(L_T) query, and the accept draw. Counter deltas are recorded per
+// trial and folded in machine order so diagnostics match the acceptance
+// scan.
+struct BernoulliTrial {
+  std::vector<int> batch;
+  bool size_overflow = false;
+  bool null_target = false;   // det(L_T) = 0: certain rejection
+  bool ratio_overflow = false;
+  bool oracle_called = false;
+  bool accepted = false;
+};
+
+}  // namespace
+
 SampleResult sample_small_dpp_bernoulli(const Matrix& kernel,
-                                        RandomStream& rng, PramLedger* ledger,
+                                        RandomStream& rng,
+                                        const ExecutionContext& ctx,
                                         const FilteringOptions& options) {
   const std::size_t n = kernel.rows();
   check_arg(kernel.square() && kernel.is_symmetric(1e-8),
@@ -53,44 +72,70 @@ SampleResult sample_small_dpp_bernoulli(const Matrix& kernel,
   const auto machines = static_cast<std::size_t>(
       std::min(machines_needed, static_cast<double>(options.machine_cap)));
 
-  std::vector<int> batch;
-  for (std::size_t trial = 0; trial < machines; ++trial) {
-    ++result.diag.proposals;
-    batch.clear();
-    double log_proposal = 0.0;
-    for (std::size_t i = 0; i < n; ++i) {
-      if (rng.bernoulli(p[i])) {
-        batch.push_back(static_cast<int>(i));
-        log_proposal += std::log(std::max(p[i], 1e-300));
-      } else {
-        log_proposal += std::log1p(-p[i]);
-      }
-    }
-    if (batch.size() > size_cap) {
-      ++result.diag.duplicate_rejects;  // outside Omega: size overflow
-      continue;
-    }
-    // ratio = det(L_T) det(I - K) / proposal mass.
-    double log_target = log_det_i_minus_k;
-    if (!batch.empty()) {
-      const auto chol = cholesky(l.principal(batch));
-      ++result.diag.oracle_calls;
-      if (!chol.has_value()) continue;  // det(L_T) = 0: certain rejection
-      log_target += chol->log_det();
-    }
-    const double log_ratio = log_target - log_proposal;
-    if (log_ratio > options.log_ratio_cap + 1e-9) {
-      ++result.diag.ratio_overflows;
-      continue;
-    }
-    if (rng.bernoulli(std::exp(log_ratio - options.log_ratio_cap))) {
-      ++result.diag.accepted_batches;
-      result.items = batch;
-      charge_round(ledger, machines, result.diag.oracle_calls);
-      result.diag.rounds = 1;
-      if (ledger != nullptr) result.diag.pram = ledger->stats();
-      return result;
-    }
+  const bool found = run_trial_waves<BernoulliTrial>(
+      ctx, machines, rng,
+      // Evaluate: one full proposal per machine — Bernoulli draws,
+      // det(L_T) query, and accept draw, all on the machine's stream.
+      [&](BernoulliTrial& trial, RandomStream stream) {
+        double log_proposal = 0.0;
+        for (std::size_t i = 0; i < n; ++i) {
+          if (stream.bernoulli(p[i])) {
+            trial.batch.push_back(static_cast<int>(i));
+            log_proposal += std::log(std::max(p[i], 1e-300));
+          } else {
+            log_proposal += std::log1p(-p[i]);
+          }
+        }
+        if (trial.batch.size() > size_cap) {
+          trial.size_overflow = true;  // outside Omega: size overflow
+          return;
+        }
+        // ratio = det(L_T) det(I - K) / proposal mass.
+        double log_target = log_det_i_minus_k;
+        if (!trial.batch.empty()) {
+          const auto chol = cholesky(l.principal(trial.batch));
+          trial.oracle_called = true;
+          if (!chol.has_value()) {
+            trial.null_target = true;
+            return;
+          }
+          log_target += chol->log_det();
+        }
+        const double log_ratio = log_target - log_proposal;
+        if (log_ratio > options.log_ratio_cap + 1e-9) {
+          trial.ratio_overflow = true;
+          return;
+        }
+        trial.accepted =
+            stream.bernoulli(std::exp(log_ratio - options.log_ratio_cap));
+      },
+      [](std::span<BernoulliTrial>) {},
+      // Fold: counters cover scanned trials only, so diagnostics are
+      // identical at every pool size.
+      [&](BernoulliTrial& trial) {
+        ++result.diag.proposals;
+        if (trial.oracle_called) ++result.diag.oracle_calls;
+        if (trial.size_overflow) {
+          ++result.diag.duplicate_rejects;
+          return false;
+        }
+        if (trial.null_target) return false;
+        if (trial.ratio_overflow) {
+          ++result.diag.ratio_overflows;
+          return false;
+        }
+        if (trial.accepted) {
+          ++result.diag.accepted_batches;
+          result.items = std::move(trial.batch);
+          return true;
+        }
+        return false;
+      });
+  if (found) {
+    ctx.charge(machines, result.diag.oracle_calls);
+    result.diag.rounds = 1;
+    if (ctx.ledger() != nullptr) result.diag.pram = ctx.ledger()->stats();
+    return result;
   }
   throw SamplingFailure(
       "sample_small_dpp_bernoulli: no proposal accepted within the machine "
@@ -98,7 +143,7 @@ SampleResult sample_small_dpp_bernoulli(const Matrix& kernel,
 }
 
 SampleResult sample_filtering_dpp(const Matrix& l, RandomStream& rng,
-                                  PramLedger* ledger,
+                                  const ExecutionContext& ctx,
                                   const FilteringOptions& options) {
   check_arg(l.square() && l.is_symmetric(1e-8),
             "sample_filtering_dpp: ensemble not symmetric");
@@ -114,7 +159,7 @@ SampleResult sample_filtering_dpp(const Matrix& l, RandomStream& rng,
 
   if (alpha > 1.0) {
     // Step (1) of Algorithm 4: the kernel is already small enough.
-    auto out = sample_small_dpp_bernoulli(kernel, rng, ledger, options);
+    auto out = sample_small_dpp_bernoulli(kernel, rng, ctx, options);
     result.items = std::move(out.items);
     result.diag = out.diag;
     return result;
@@ -133,16 +178,16 @@ SampleResult sample_filtering_dpp(const Matrix& l, RandomStream& rng,
     const Matrix k_i = marginal_kernel(current_l);
     Matrix small_kernel = k_i;
     small_kernel *= alpha;
-    auto step =
-        sample_small_dpp_bernoulli(small_kernel, rng, nullptr, small_options);
+    auto step = sample_small_dpp_bernoulli(small_kernel, rng,
+                                           ctx.without_ledger(), small_options);
     result.diag.proposals += step.diag.proposals;
     result.diag.oracle_calls += step.diag.oracle_calls;
     result.diag.ratio_overflows += step.diag.ratio_overflows;
     result.diag.duplicate_rejects += step.diag.duplicate_rejects;
     result.diag.accepted_batches += step.diag.accepted_batches;
     result.diag.rounds += 1;
-    charge_round(ledger, std::max<std::size_t>(step.diag.proposals, 1),
-                 step.diag.oracle_calls);
+    ctx.charge(std::max<std::size_t>(step.diag.proposals, 1),
+               step.diag.oracle_calls);
 
     // L^{(i+1)} = ((1 - alpha) L^{(i)})^{T_i}.
     Matrix scaled = current_l;
@@ -158,8 +203,22 @@ SampleResult sample_filtering_dpp(const Matrix& l, RandomStream& rng,
     }
   }
   std::sort(result.items.begin(), result.items.end());
-  if (ledger != nullptr) result.diag.pram = ledger->stats();
+  if (ctx.ledger() != nullptr) result.diag.pram = ctx.ledger()->stats();
   return result;
+}
+
+SampleResult sample_small_dpp_bernoulli(const Matrix& kernel,
+                                        RandomStream& rng, PramLedger* ledger,
+                                        const FilteringOptions& options) {
+  return sample_small_dpp_bernoulli(kernel, rng,
+                                    ExecutionContext::serial(ledger), options);
+}
+
+SampleResult sample_filtering_dpp(const Matrix& l, RandomStream& rng,
+                                  PramLedger* ledger,
+                                  const FilteringOptions& options) {
+  return sample_filtering_dpp(l, rng, ExecutionContext::serial(ledger),
+                              options);
 }
 
 }  // namespace pardpp

@@ -8,35 +8,80 @@
 
 namespace pardpp {
 
+namespace {
+
+// Normalized per-domain quantities shared by every trial of one run.
+struct RejectionSetup {
+  std::vector<double> proposal_probs;
+  double log_zt = 0.0;
+  double log_zp = 0.0;
+};
+
+RejectionSetup make_setup(std::span<const double> log_target,
+                          std::span<const double> log_proposal) {
+  check_arg(log_target.size() == log_proposal.size(),
+            "rejection_sample_finite: domain size mismatch");
+  RejectionSetup setup;
+  setup.log_zt = logsumexp(log_target);
+  setup.log_zp = logsumexp(log_proposal);
+  check_arg(setup.log_zt != kNegInf && setup.log_zp != kNegInf,
+            "rejection_sample_finite: degenerate masses");
+  setup.proposal_probs.resize(log_proposal.size());
+  for (std::size_t i = 0; i < setup.proposal_probs.size(); ++i)
+    setup.proposal_probs[i] = std::exp(log_proposal[i] - setup.log_zp);
+  return setup;
+}
+
+}  // namespace
+
 RejectionOutcome rejection_sample_finite(std::span<const double> log_target,
                                          std::span<const double> log_proposal,
                                          double log_cap, std::size_t machines,
                                          RandomStream& rng) {
-  check_arg(log_target.size() == log_proposal.size(),
-            "rejection_sample_finite: domain size mismatch");
-  const double log_zt = logsumexp(log_target);
-  const double log_zp = logsumexp(log_proposal);
-  check_arg(log_zt != kNegInf && log_zp != kNegInf,
-            "rejection_sample_finite: degenerate masses");
-  std::vector<double> proposal_probs(log_proposal.size());
-  for (std::size_t i = 0; i < proposal_probs.size(); ++i)
-    proposal_probs[i] = std::exp(log_proposal[i] - log_zp);
+  return rejection_sample_finite(log_target, log_proposal, log_cap, machines,
+                                 rng, ExecutionContext::serial());
+}
+
+RejectionOutcome rejection_sample_finite(std::span<const double> log_target,
+                                         std::span<const double> log_proposal,
+                                         double log_cap, std::size_t machines,
+                                         RandomStream& rng,
+                                         const ExecutionContext& ctx) {
+  const RejectionSetup setup = make_setup(log_target, log_proposal);
+
+  struct Trial {
+    std::size_t value = 0;
+    bool overflow = false;
+    bool accepted = false;
+  };
 
   RejectionOutcome out;
-  for (std::size_t trial = 0; trial < machines; ++trial) {
-    ++out.proposals_used;
-    const std::size_t i = rng.categorical(proposal_probs);
-    const double log_ratio =
-        (log_target[i] - log_zt) - (log_proposal[i] - log_zp);
-    if (log_ratio > log_cap + 1e-12) {
-      ++out.overflows;  // outside Omega: Algorithm 3 rejects outright
-      continue;
-    }
-    if (rng.bernoulli(std::exp(log_ratio - log_cap))) {
-      out.value = i;
-      return out;
-    }
-  }
+  run_trial_waves<Trial>(
+      ctx, machines, rng,
+      [&](Trial& trial, RandomStream stream) {
+        trial.value = stream.categorical(setup.proposal_probs);
+        const double log_ratio =
+            (log_target[trial.value] - setup.log_zt) -
+            (log_proposal[trial.value] - setup.log_zp);
+        if (log_ratio > log_cap + 1e-12) {
+          trial.overflow = true;
+          return;
+        }
+        trial.accepted = stream.bernoulli(std::exp(log_ratio - log_cap));
+      },
+      [](std::span<Trial>) {},
+      [&](Trial& trial) {
+        ++out.proposals_used;
+        if (trial.overflow) {
+          ++out.overflows;
+          return false;
+        }
+        if (trial.accepted) {
+          out.value = trial.value;
+          return true;
+        }
+        return false;
+      });
   return out;
 }
 

@@ -12,6 +12,7 @@
 #include <optional>
 #include <span>
 
+#include "parallel/execution.h"
 #include "sampling/diagnostics.h"
 #include "support/random.h"
 
@@ -35,5 +36,14 @@ struct RejectionOutcome {
 [[nodiscard]] RejectionOutcome rejection_sample_finite(
     std::span<const double> log_target, std::span<const double> log_proposal,
     double log_cap, std::size_t machines, RandomStream& rng);
+
+/// As above, with the independent trials physically fanned out on the
+/// context's pool in waves; the accepted value is the lowest accepted
+/// machine index, so a fixed seed yields the identical outcome at every
+/// pool size.
+[[nodiscard]] RejectionOutcome rejection_sample_finite(
+    std::span<const double> log_target, std::span<const double> log_proposal,
+    double log_cap, std::size_t machines, RandomStream& rng,
+    const ExecutionContext& ctx);
 
 }  // namespace pardpp

@@ -16,7 +16,17 @@ namespace pardpp {
 
 /// log(n!) via lgamma.
 [[nodiscard]] inline double log_factorial(std::size_t n) noexcept {
+#if defined(__GLIBC__) && defined(__USE_MISC)
+  // glibc's std::lgamma writes the process-global `signgam` — a data
+  // race when oracles evaluate counting queries concurrently. n! is
+  // positive, so the sign output of the reentrant variant is discarded.
+  // (__USE_MISC is glibc's own gate for the lgamma_r declaration; strict
+  // -ansi configurations fall back to std::lgamma below.)
+  int sign = 0;
+  return ::lgamma_r(static_cast<double>(n) + 1.0, &sign);
+#else
   return std::lgamma(static_cast<double>(n) + 1.0);
+#endif
 }
 
 /// log C(n, k); returns -inf when k > n.

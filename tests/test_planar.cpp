@@ -137,7 +137,9 @@ class DilutedGridCount : public ::testing::TestWithParam<int> {};
 TEST_P(DilutedGridCount, MatchesBruteForce) {
   RandomStream rng(static_cast<std::uint64_t>(GetParam()) * 53 + 1);
   const auto g = diluted_grid_graph(3, 4, 0.25, rng);
-  if (g.components().size() > 1) GTEST_SKIP() << "diluted graph split";
+  if (g.components().size() > 1)
+    GTEST_SKIP() << "diluted graph split into " << g.components().size()
+                 << " components (counter requires connected input)";
   const MatchingCounter counter(g);
   const auto brute = count_perfect_matchings_brute(g);
   if (brute == 0) {
@@ -181,7 +183,9 @@ TEST_P(HoneycombCount, MatchesBruteForce) {
   const auto [r, c] = GetParam();
   const auto g = honeycomb_graph(static_cast<std::size_t>(r),
                                  static_cast<std::size_t>(c));
-  if (g.components().size() > 1) GTEST_SKIP() << "degenerate lattice";
+  if (g.components().size() > 1)
+    GTEST_SKIP() << "degenerate lattice split into " << g.components().size()
+                 << " components";
   const MatchingCounter counter(g);
   const auto brute = count_perfect_matchings_brute(g);
   if (brute == 0) {
@@ -344,7 +348,9 @@ INSTANTIATE_TEST_SUITE_P(SequentialAndSeparator, MatchingSamplerDist,
 TEST(MatchingSampler, UniformOnDilutedGrid) {
   RandomStream rng(3002);
   const auto g = diluted_grid_graph(3, 4, 0.2, rng);
-  if (g.components().size() > 1) GTEST_SKIP();
+  if (g.components().size() > 1)
+    GTEST_SKIP() << "diluted grid split into " << g.components().size()
+                 << " components (sampler requires connected input)";
   const auto exact = exact_matching_distribution(g);
   ASSERT_GE(exact.size(), 1u);
   std::map<Matching, std::size_t> counts;
