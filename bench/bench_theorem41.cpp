@@ -143,21 +143,25 @@ int main() {
   const Matrix kernel4 = kernel_with_spectrum(spectrum4, rng4);
   const Matrix l4 = ensemble_from_kernel(kernel4);
   const std::uint64_t seed4 = 515151;
-  const int repeats = 3;
+  const int repeats = 9;
 
   const auto points =
       run_thread_sweep(repeats, [&](const ExecutionContext& ctx) {
         RandomStream run_rng(seed4);
-        return sample_filtering_dpp(l4, run_rng, ctx).items;
+        return sample_filtering_dpp(l4, run_rng, ctx);
       });
 
   Table table4({"pool", "wall_ms", "speedup", "rounds", "|S|", "identical"});
   JsonSeries json;
+  bool any_regression = false;
   for (const SweepPoint& point : points) {
     const std::size_t rounds =
         point.pram.rounds / static_cast<std::size_t>(repeats);
+    const double speedup = reported_speedup(point.speedup);
+    const bool regression = speedup < 1.0;
+    any_regression = any_regression || regression;
     table4.add_row({fmt_int(point.pool_size), fmt(point.wall_ms, 1),
-                    fmt(point.speedup, 2), fmt_int(rounds),
+                    fmt(speedup, 1), fmt_int(rounds),
                     fmt_int(point.items.size()),
                     point.identical ? "yes" : "NO"});
     json.add_record(
@@ -166,11 +170,14 @@ int main() {
          JsonSeries::number("sigma", sigma4, 3),
          JsonSeries::number("pool", point.pool_size),
          JsonSeries::number("wall_ms", point.wall_ms, 3),
-         JsonSeries::number("speedup", point.speedup, 3),
+         JsonSeries::number("speedup", speedup, 1),
          JsonSeries::number("rounds", rounds),
-         JsonSeries::text("identical", point.identical ? "yes" : "no")});
+         JsonSeries::text("identical", point.identical ? "yes" : "no"),
+         JsonSeries::text("regression", regression ? "yes" : "no")});
   }
   table4.print();
+  if (any_regression)
+    std::printf("! REGRESSION: a pool size reported speedup < 1.0\n");
   json.write("BENCH_theorem41_threads.json");
   return 0;
 }

@@ -25,6 +25,32 @@ namespace pardpp {
 /// conditional* distribution (conditioning re-indexes the ground set by
 /// deleting the conditioned elements and preserving the order of the
 /// rest).
+class CountingOracle;
+
+/// Wave-scoped evaluator for a batch of counting queries against one
+/// conditional distribution (DESIGN.md §2 convention 6).
+///
+/// All queries of one wave condition on the same prefix — the conditioning
+/// already folded into the oracle they were issued against — so the
+/// expensive shared factors (eigendecompositions, ESP tables, engine
+/// caches) live on the oracle, primed once by `prepare_concurrent()`. A
+/// ConditionalState adds the *query-scoped* machinery on top: reusable
+/// scratch (Schur buffers, incremental Cholesky factors, spectra) that a
+/// from-scratch `log_joint_marginal` would reallocate and refactor per
+/// call. One state serves one thread; `query_many` builds one per
+/// dispatched chunk so the setup amortizes across the chunk's queries.
+///
+/// `log_joint(t)` returns the same value as `log_joint_marginal(t)` up to
+/// roundoff (the oracle property tests pin the agreement at 1e-10).
+class ConditionalState {
+ public:
+  virtual ~ConditionalState() = default;
+
+  /// log P[T ⊆ S] of the oracle this state was created from. Non-const:
+  /// implementations scribble on owned scratch.
+  [[nodiscard]] virtual double log_joint(std::span<const int> t) = 0;
+};
+
 class CountingOracle {
  public:
   virtual ~CountingOracle() = default;
@@ -61,21 +87,61 @@ class CountingOracle {
   /// override; stateless oracles need not.
   virtual void prepare_concurrent() const {}
 
+  /// Creates a fresh query evaluator over this oracle's (already primed)
+  /// shared factors. Callers that may run states concurrently must call
+  /// prepare_concurrent() first — the state construction itself must not
+  /// race on the lazy caches. The default state simply delegates to
+  /// log_joint_marginal; determinantal oracles override with incremental
+  /// paths (rank-1 Cholesky extension, scratch-reusing Schur complements,
+  /// leave-one-out ESP lookups for singleton extensions).
+  [[nodiscard]] virtual std::unique_ptr<ConditionalState>
+  make_conditional_state() const;
+
   /// Batch counting query — one PRAM round of |ts| independent queries
-  /// issued together: out[q] = log_joint_marginal(ts[q]). The queries
-  /// are spans into caller-owned storage (the samplers pass views over
-  /// their proposal batches; nothing is copied). The default primes the
-  /// lazy caches once, then services the queries concurrently on the
-  /// context's pool; each query works on disjoint scratch.
+  /// issued together: out[q] = log_joint_marginal(ts[q]) up to roundoff.
+  /// The queries are spans into caller-owned storage (the samplers pass
+  /// views over their proposal batches; nothing is copied). The default
+  /// primes the lazy caches once, then services the queries in chunks on
+  /// the context's pool, one ConditionalState per chunk: serial runs and
+  /// large batches amortize the state's scratch across many queries,
+  /// while a wave-sized batch on a multicore pool deliberately lands one
+  /// query per chunk — state setup is trivia next to a query, and
+  /// grouping queries there would serialize them and lengthen the wave's
+  /// critical path.
   virtual void query_many(std::span<const std::span<const int>> ts,
                           std::span<double> out,
                           const ExecutionContext& ctx) const {
     check_arg(ts.size() == out.size(), "query_many: output size mismatch");
     prepare_concurrent();
-    ctx.for_each(0, ts.size(),
-                 [&](std::size_t q) { out[q] = log_joint_marginal(ts[q]); });
+    ctx.for_each_chunk(0, ts.size(), [&](std::size_t lo, std::size_t hi) {
+      const auto state = make_conditional_state();
+      for (std::size_t q = lo; q < hi; ++q) out[q] = state->log_joint(ts[q]);
+    });
   }
 };
+
+namespace detail {
+
+/// Default ConditionalState: from-scratch delegation, no shared factors
+/// beyond what the oracle caches internally.
+class DelegatingConditionalState final : public ConditionalState {
+ public:
+  explicit DelegatingConditionalState(const CountingOracle& oracle) noexcept
+      : oracle_(oracle) {}
+  [[nodiscard]] double log_joint(std::span<const int> t) override {
+    return oracle_.log_joint_marginal(t);
+  }
+
+ private:
+  const CountingOracle& oracle_;
+};
+
+}  // namespace detail
+
+inline std::unique_ptr<ConditionalState>
+CountingOracle::make_conditional_state() const {
+  return std::make_unique<detail::DelegatingConditionalState>(*this);
+}
 
 /// Maps indices of a repeatedly conditioned ground set back to original
 /// element ids. Mirrors the re-indexing convention of

@@ -27,32 +27,57 @@ const LogEspTable& FeatureKdppOracle::esp() const {
   return *esp_;
 }
 
-std::vector<double> FeatureKdppOracle::marginals() const {
-  const std::size_t n = ground_size();
-  std::vector<double> p(n, 0.0);
-  if (k_ == 0) return p;
-  const auto& eig = eigen();
-  const auto& table = esp();
-  check_numeric(eig.values.size() >= k_,
-                "FeatureKdppOracle: rank below k — partition function zero");
-  const double log_z = table.log_e(k_);
-  check_numeric(log_z != kNegInf,
-                "FeatureKdppOracle: partition function zero");
-  const std::size_t modes = eig.values.size();
-  std::vector<double> w(modes, 0.0);
-  for (std::size_t m = 0; m < modes; ++m) {
-    w[m] = std::exp(std::log(eig.values[m]) +
-                    table.log_e_without(m, k_ - 1) - log_z);
-  }
-  for (std::size_t i = 0; i < n; ++i) {
-    double acc = 0.0;
-    for (std::size_t m = 0; m < modes; ++m) {
-      const double v = eig.vectors(i, m);
-      acc += w[m] * v * v;
+const Matrix& FeatureKdppOracle::gram() const {
+  if (!gram_.has_value()) gram_ = features_.transpose() * features_;
+  return *gram_;
+}
+
+const std::vector<double>& FeatureKdppOracle::marginal_cache() const {
+  if (!marginals_.has_value()) {
+    const std::size_t n = ground_size();
+    std::vector<double> p(n, 0.0);
+    if (k_ != 0) {
+      const auto& eig = eigen();
+      const auto& table = esp();
+      check_numeric(eig.values.size() >= k_,
+                    "FeatureKdppOracle: rank below k — partition function "
+                    "zero");
+      const double log_z = table.log_e(k_);
+      check_numeric(log_z != kNegInf,
+                    "FeatureKdppOracle: partition function zero");
+      const std::size_t modes = eig.values.size();
+      std::vector<double> w(modes, 0.0);
+      for (std::size_t m = 0; m < modes; ++m) {
+        w[m] = std::exp(std::log(eig.values[m]) +
+                        table.log_e_without(m, k_ - 1) - log_z);
+      }
+      for (std::size_t i = 0; i < n; ++i) {
+        double acc = 0.0;
+        for (std::size_t m = 0; m < modes; ++m) {
+          const double v = eig.vectors(i, m);
+          acc += w[m] * v * v;
+        }
+        p[i] = std::min(acc, 1.0);
+      }
     }
-    p[i] = std::min(acc, 1.0);
+    marginals_ = std::move(p);
   }
-  return p;
+  return *marginals_;
+}
+
+const std::vector<double>& FeatureKdppOracle::log_marginal_cache() const {
+  if (!log_marginals_.has_value()) {
+    const auto& p = marginal_cache();
+    std::vector<double> lp(p.size(), kNegInf);
+    for (std::size_t i = 0; i < p.size(); ++i)
+      if (p[i] > 0.0) lp[i] = std::log(p[i]);
+    log_marginals_ = std::move(lp);
+  }
+  return *log_marginals_;
+}
+
+std::vector<double> FeatureKdppOracle::marginals() const {
+  return marginal_cache();
 }
 
 double FeatureKdppOracle::log_joint_marginal(std::span<const int> t) const {
@@ -85,15 +110,132 @@ double FeatureKdppOracle::log_joint_marginal(std::span<const int> t) const {
   }
   const Matrix gram = conditioned.transpose() * conditioned;
   auto lambda = symmetric_eigenvalues(gram);
-  double top = 0.0;
-  for (const double v : lambda) top = std::max(top, v);
-  for (double& v : lambda) {
-    if (v < top * 1e-12 * static_cast<double>(lambda.size())) v = 0.0;
-  }
+  clamp_spectrum_to_rank(lambda);
   const auto log_e = log_esp(lambda, k_ - tsize);
   const double tail = log_e[k_ - tsize];
   if (tail == kNegInf) return kNegInf;
   return log_det_t + tail - log_z;
+}
+
+// Wave-scoped incremental query evaluator: all conditioning happens on the
+// cached d x d Gram, so query cost is independent of the ground size n.
+// With W = R^{-1} B_T (R the incrementally grown Cholesky factor of
+// Gram(B_T)), the projection onto span(B_T rows) is P = W^T W and the
+// conditioned Gram is (I - P) G (I - P).
+class FeatureKdppOracle::State final : public ConditionalState {
+ public:
+  explicit State(const FeatureKdppOracle& oracle)
+      : o_(oracle), chol_(oracle.sample_size()) {}
+
+  [[nodiscard]] double log_joint(std::span<const int> t) override {
+    const std::size_t tsize = t.size();
+    const std::size_t n = o_.ground_size();
+    const std::size_t d = o_.features_.cols();
+    if (tsize > o_.k_) return kNegInf;
+    if (tsize == 0) return 0.0;
+    for (const int i : t)
+      check_arg(i >= 0 && static_cast<std::size_t>(i) < n,
+                "log_joint: index out of range");
+    const double log_z = o_.esp().log_e(o_.k_);
+    if (tsize == 1 && log_z != kNegInf)
+      return o_.log_marginal_cache()[static_cast<std::size_t>(t[0])];
+    // Incremental Cholesky of Gram(B_T) = L_T; W starts as the raw T rows
+    // and is forward-substituted into R^{-1} B_T below. The threshold is
+    // seeded with the block's largest diagonal (the largest T row norm)
+    // so the singularity verdict matches a from-scratch factorization,
+    // independent of the batch's element order.
+    norms_.resize(tsize);
+    double max_diag = 0.0;
+    for (std::size_t r = 0; r < tsize; ++r) {
+      const auto br = o_.features_.row(static_cast<std::size_t>(t[r]));
+      double acc = 0.0;
+      for (std::size_t x = 0; x < d; ++x) acc += br[x] * br[x];
+      norms_[r] = acc;
+      max_diag = std::max(max_diag, acc);
+    }
+    chol_.clear(max_diag);
+    row_.resize(tsize);
+    w_.resize(tsize * d);
+    for (std::size_t r = 0; r < tsize; ++r) {
+      const auto br = o_.features_.row(static_cast<std::size_t>(t[r]));
+      for (std::size_t c = 0; c < r; ++c) {
+        const auto bc = o_.features_.row(static_cast<std::size_t>(t[c]));
+        double acc = 0.0;
+        for (std::size_t x = 0; x < d; ++x) acc += br[x] * bc[x];
+        row_[c] = acc;
+      }
+      row_[r] = norms_[r];
+      if (!chol_.append(std::span<const double>(row_.data(), r + 1)))
+        return kNegInf;
+      for (std::size_t x = 0; x < d; ++x) w_[r * d + x] = br[x];
+    }
+    const double log_det_t = chol_.log_det();
+    if (tsize == o_.k_) return log_det_t - log_z;
+    chol_.forward_solve_rows(w_.data(), d, d);
+    // A = W G (t x d), then conditioned = G - W^T A - A^T W + W^T (A W^T) W,
+    // assembled as G - W^T D - A^T W with D = A - (A W^T) W.
+    const Matrix& g = o_.gram();
+    a_.assign(tsize * d, 0.0);
+    for (std::size_t r = 0; r < tsize; ++r) {
+      for (std::size_t c = 0; c < d; ++c) {
+        const double w = w_[r * d + c];
+        if (w == 0.0) continue;
+        const double* grow = &g(c, 0);
+        double* arow = a_.data() + r * d;
+        for (std::size_t j = 0; j < d; ++j) arow[j] += w * grow[j];
+      }
+    }
+    awt_.assign(tsize * tsize, 0.0);
+    for (std::size_t r = 0; r < tsize; ++r)
+      for (std::size_t s = 0; s < tsize; ++s) {
+        double acc = 0.0;
+        for (std::size_t j = 0; j < d; ++j)
+          acc += a_[r * d + j] * w_[s * d + j];
+        awt_[r * tsize + s] = acc;
+      }
+    d_.assign(a_.begin(), a_.end());
+    for (std::size_t r = 0; r < tsize; ++r)
+      for (std::size_t s = 0; s < tsize; ++s) {
+        const double c = awt_[r * tsize + s];
+        if (c == 0.0) continue;
+        for (std::size_t j = 0; j < d; ++j)
+          d_[r * d + j] -= c * w_[s * d + j];
+      }
+    if (reduced_.rows() != d || reduced_.cols() != d)
+      reduced_ = Matrix(d, d);
+    for (std::size_t i = 0; i < d; ++i) {
+      for (std::size_t j = i; j < d; ++j) {
+        double acc = g(i, j);
+        for (std::size_t r = 0; r < tsize; ++r)
+          acc -= w_[r * d + i] * d_[r * d + j] + a_[r * d + i] * w_[r * d + j];
+        reduced_(i, j) = acc;
+        reduced_(j, i) = acc;
+      }
+    }
+    lambda_ = symmetric_eigenvalues(reduced_);
+    clamp_spectrum_to_rank(lambda_);
+    const auto log_e = log_esp(lambda_, o_.k_ - tsize);
+    const double tail = log_e[o_.k_ - tsize];
+    if (tail == kNegInf) return kNegInf;
+    return log_det_t + tail - log_z;
+  }
+
+ private:
+  const FeatureKdppOracle& o_;
+  IncrementalCholesky chol_;
+  std::vector<double> norms_;  // |B_T row|^2, the Gram block's diagonal
+  std::vector<double> row_;
+  std::vector<double> w_;    // t x d: R^{-1} B_T
+  std::vector<double> a_;    // t x d: W G
+  std::vector<double> awt_;  // t x t: W G W^T
+  std::vector<double> d_;    // t x d: A - (A W^T) W
+  std::vector<double> lambda_;
+  Matrix reduced_;
+};
+
+std::unique_ptr<ConditionalState> FeatureKdppOracle::make_conditional_state()
+    const {
+  return std::make_unique<State>(*this);
 }
 
 std::unique_ptr<CountingOracle> FeatureKdppOracle::condition(
@@ -110,6 +252,8 @@ std::unique_ptr<CountingOracle> FeatureKdppOracle::clone() const {
 void FeatureKdppOracle::prepare_concurrent() const {
   (void)eigen();
   (void)esp();
+  (void)gram();
+  if (esp().log_e(k_) != kNegInf) (void)log_marginal_cache();
 }
 
 }  // namespace pardpp

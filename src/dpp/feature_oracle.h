@@ -9,6 +9,12 @@
 // Mirrors SymmetricKdppOracle exactly (the test suite checks agreement);
 // use it when n is large and the kernel is genuinely low-rank — which is
 // every practical data-summarization / recommender deployment.
+//
+// Batch queries go through a ConditionalState (oracle.h) that conditions
+// entirely in feature space: with P the projection onto span(B_T rows),
+// the conditioned Gram is (I - P) G (I - P) for the cached G = B^T B, so
+// a query costs O(t d^2 + t^2 d) instead of the from-scratch
+// O(n d t + n d^2) feature projection — the n factor drops out entirely.
 #pragma once
 
 #include <optional>
@@ -36,17 +42,27 @@ class FeatureKdppOracle final : public CountingOracle {
   [[nodiscard]] std::unique_ptr<CountingOracle> clone() const override;
   [[nodiscard]] std::string name() const override { return "feature-kdpp"; }
   void prepare_concurrent() const override;
+  [[nodiscard]] std::unique_ptr<ConditionalState> make_conditional_state()
+      const override;
 
   [[nodiscard]] const Matrix& features() const noexcept { return features_; }
 
  private:
+  class State;
+
   const LowRankEigen& eigen() const;
   const LogEspTable& esp() const;
+  const Matrix& gram() const;
+  const std::vector<double>& marginal_cache() const;
+  const std::vector<double>& log_marginal_cache() const;
 
   Matrix features_;
   std::size_t k_;
   mutable std::optional<LowRankEigen> eigen_;
   mutable std::optional<LogEspTable> esp_;
+  mutable std::optional<Matrix> gram_;
+  mutable std::optional<std::vector<double>> marginals_;
+  mutable std::optional<std::vector<double>> log_marginals_;
 };
 
 }  // namespace pardpp

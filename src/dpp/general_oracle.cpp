@@ -47,8 +47,13 @@ const CharPolyEngine& GeneralDppOracle::engine() const {
   return *engine_;
 }
 
+LogCoefficient GeneralDppOracle::partition_coefficient() const {
+  if (!partition_.has_value()) partition_ = engine().log_count(counts_);
+  return *partition_;
+}
+
 double GeneralDppOracle::log_partition() const {
-  const auto z = engine().log_count(counts_);
+  const auto z = partition_coefficient();
   check_numeric(z.sign > 0,
                 "GeneralDppOracle: partition function not positive "
                 "(infeasible constraints or degenerate ensemble)");
@@ -93,6 +98,44 @@ std::vector<double> GeneralDppOracle::marginals() const {
   return p;
 }
 
+// Wave-scoped query evaluator: the heavy shared factor is the engine's
+// node cache (primed by prepare_concurrent) plus the cached partition
+// coefficient; per query only the t x t node solves remain, with the
+// part-count bookkeeping on reused scratch.
+class GeneralDppOracle::State final : public ConditionalState {
+ public:
+  explicit State(const GeneralDppOracle& oracle) : o_(oracle) {}
+
+  [[nodiscard]] double log_joint(std::span<const int> t) override {
+    if (t.size() > o_.k_) return kNegInf;
+    if (t.empty()) return 0.0;
+    const std::size_t parts = o_.counts_.size();
+    remaining_.assign(parts, 0);
+    for (const int i : t) {
+      check_arg(i >= 0 && static_cast<std::size_t>(i) < o_.ground_size(),
+                "log_joint: index out of range");
+      ++remaining_[static_cast<std::size_t>(
+          o_.part_of_[static_cast<std::size_t>(i)])];
+    }
+    for (std::size_t a = 0; a < parts; ++a) {
+      remaining_[a] = o_.counts_[a] - remaining_[a];
+      if (remaining_[a] < 0) return kNegInf;  // violates a partition budget
+    }
+    const auto numerator = o_.engine().log_count_superset(t, remaining_);
+    if (numerator.sign <= 0) return kNegInf;
+    return numerator.log_abs - o_.log_partition();
+  }
+
+ private:
+  const GeneralDppOracle& o_;
+  std::vector<int> remaining_;
+};
+
+std::unique_ptr<ConditionalState> GeneralDppOracle::make_conditional_state()
+    const {
+  return std::make_unique<State>(*this);
+}
+
 std::unique_ptr<CountingOracle> GeneralDppOracle::condition(
     std::span<const int> t) const {
   check_arg(t.size() <= k_, "condition: |T| exceeds k");
@@ -121,6 +164,9 @@ std::unique_ptr<CountingOracle> GeneralDppOracle::clone() const {
   return copy;
 }
 
-void GeneralDppOracle::prepare_concurrent() const { engine().warm(); }
+void GeneralDppOracle::prepare_concurrent() const {
+  engine().warm();
+  (void)partition_coefficient();
+}
 
 }  // namespace pardpp

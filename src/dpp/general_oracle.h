@@ -37,6 +37,8 @@ class GeneralDppOracle final : public CountingOracle {
   [[nodiscard]] std::unique_ptr<CountingOracle> clone() const override;
   [[nodiscard]] std::string name() const override { return "general-dpp"; }
   void prepare_concurrent() const override;
+  [[nodiscard]] std::unique_ptr<ConditionalState> make_conditional_state()
+      const override;
 
   [[nodiscard]] const Matrix& ensemble() const noexcept { return l_; }
   [[nodiscard]] std::span<const int> part_of() const { return part_of_; }
@@ -46,7 +48,13 @@ class GeneralDppOracle final : public CountingOracle {
   [[nodiscard]] double log_partition() const;
 
  private:
+  class State;
+
   const CharPolyEngine& engine() const;
+  /// Cached log partition coefficient: the engine's grid sweep for
+  /// log_count(counts) is paid once per conditional state of the oracle,
+  /// not once per counting query.
+  [[nodiscard]] LogCoefficient partition_coefficient() const;
   [[nodiscard]] std::vector<int> batch_part_counts(
       std::span<const int> t) const;
 
@@ -55,6 +63,7 @@ class GeneralDppOracle final : public CountingOracle {
   std::vector<int> counts_;
   std::size_t k_;
   mutable std::optional<CharPolyEngine> engine_;
+  mutable std::optional<LogCoefficient> partition_;
 };
 
 }  // namespace pardpp

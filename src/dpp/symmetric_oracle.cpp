@@ -10,18 +10,6 @@
 
 namespace pardpp {
 
-namespace {
-// Clamps roundoff-level eigenvalues to exact zeros.
-void clamp_spectrum(std::vector<double>& lambda) {
-  double top = 0.0;
-  for (const double v : lambda) top = std::max(top, v);
-  const double floor = top * 1e-12 * static_cast<double>(lambda.size());
-  for (double& v : lambda) {
-    if (v < floor) v = 0.0;
-  }
-}
-}  // namespace
-
 SymmetricKdppOracle::SymmetricKdppOracle(Matrix l, std::size_t k,
                                          bool validate)
     : l_(std::move(l)), k_(k) {
@@ -40,7 +28,7 @@ const LogEspTable& SymmetricKdppOracle::esp() const {
     // Clamp roundoff-level eigenvalues to exact zeros so rank deficiency
     // is detected (e_k of a rank-r spectrum must vanish for k > r).
     std::vector<double> lambda = eigen().values;
-    clamp_spectrum(lambda);
+    clamp_spectrum_to_rank(lambda);
     esp_ = LogEspTable(lambda, k_);
   }
   return *esp_;
@@ -48,36 +36,55 @@ const LogEspTable& SymmetricKdppOracle::esp() const {
 
 double SymmetricKdppOracle::log_partition() const { return esp().log_e(k_); }
 
-std::vector<double> SymmetricKdppOracle::marginals() const {
-  const std::size_t n = ground_size();
-  std::vector<double> p(n, 0.0);
-  if (k_ == 0 || n == 0) return p;
-  const auto& eig = eigen();
-  const auto& table = esp();
-  const double log_z = table.log_e(k_);
-  check_numeric(log_z != kNegInf,
-                "SymmetricKdppOracle: partition function is zero "
-                "(rank of L below k)");
-  // p_i = sum_m w_m V_im^2 with w_m = lambda_m e_{k-1}(lambda \ m) / e_k.
-  // The weights are probabilities of eigenvector selection (they sum to
-  // k), so the accumulation is safe in linear domain.
-  std::vector<double> w(n, 0.0);
-  for (std::size_t m = 0; m < n; ++m) {
-    const double lambda = eig.values[m];
-    if (lambda <= 0.0) continue;
-    const double log_w =
-        std::log(lambda) + table.log_e_without(m, k_ - 1) - log_z;
-    w[m] = std::exp(log_w);
-  }
-  for (std::size_t i = 0; i < n; ++i) {
-    double acc = 0.0;
-    for (std::size_t m = 0; m < n; ++m) {
-      const double v = eig.vectors(i, m);
-      acc += w[m] * v * v;
+const std::vector<double>& SymmetricKdppOracle::marginal_cache() const {
+  if (!marginals_.has_value()) {
+    const std::size_t n = ground_size();
+    std::vector<double> p(n, 0.0);
+    if (k_ != 0 && n != 0) {
+      const auto& eig = eigen();
+      const auto& table = esp();
+      const double log_z = table.log_e(k_);
+      check_numeric(log_z != kNegInf,
+                    "SymmetricKdppOracle: partition function is zero "
+                    "(rank of L below k)");
+      // p_i = sum_m w_m V_im^2 with w_m = lambda_m e_{k-1}(lambda \ m) /
+      // e_k. The weights are probabilities of eigenvector selection (they
+      // sum to k), so the accumulation is safe in linear domain.
+      std::vector<double> w(n, 0.0);
+      for (std::size_t m = 0; m < n; ++m) {
+        const double lambda = eig.values[m];
+        if (lambda <= 0.0) continue;
+        const double log_w =
+            std::log(lambda) + table.log_e_without(m, k_ - 1) - log_z;
+        w[m] = std::exp(log_w);
+      }
+      for (std::size_t i = 0; i < n; ++i) {
+        double acc = 0.0;
+        for (std::size_t m = 0; m < n; ++m) {
+          const double v = eig.vectors(i, m);
+          acc += w[m] * v * v;
+        }
+        p[i] = std::min(acc, 1.0);
+      }
     }
-    p[i] = std::min(acc, 1.0);
+    marginals_ = std::move(p);
   }
-  return p;
+  return *marginals_;
+}
+
+const std::vector<double>& SymmetricKdppOracle::log_marginal_cache() const {
+  if (!log_marginals_.has_value()) {
+    const auto& p = marginal_cache();
+    std::vector<double> lp(p.size(), kNegInf);
+    for (std::size_t i = 0; i < p.size(); ++i)
+      if (p[i] > 0.0) lp[i] = std::log(p[i]);
+    log_marginals_ = std::move(lp);
+  }
+  return *log_marginals_;
+}
+
+std::vector<double> SymmetricKdppOracle::marginals() const {
+  return marginal_cache();
 }
 
 double SymmetricKdppOracle::log_joint_marginal(std::span<const int> t) const {
@@ -94,11 +101,88 @@ double SymmetricKdppOracle::log_joint_marginal(std::span<const int> t) const {
   const auto keep = complement_indices(l_.rows(), t);
   const auto schur = schur_complement(l_, keep, t, /*symmetric=*/true);
   auto lambda = symmetric_eigenvalues(schur.reduced);
-  clamp_spectrum(lambda);
+  clamp_spectrum_to_rank(lambda);
   const auto log_e = log_esp(lambda, k_ - tsize);
   const double tail = log_e[k_ - tsize];
   if (tail == kNegInf) return kNegInf;
   return log_det_t + tail - log_partition();
+}
+
+// Wave-scoped incremental query evaluator (oracle.h): answers each query
+// against the shared prefix already folded into this oracle, extending by
+// the proposal batch with an incrementally grown Cholesky factor and a
+// scratch-reusing Schur complement. Singleton extensions short-circuit to
+// the cached leave-one-out ESP marginals — no factorization at all.
+class SymmetricKdppOracle::State final : public ConditionalState {
+ public:
+  explicit State(const SymmetricKdppOracle& oracle)
+      : o_(oracle), chol_(oracle.sample_size()) {}
+
+  [[nodiscard]] double log_joint(std::span<const int> t) override {
+    const std::size_t tsize = t.size();
+    const std::size_t n = o_.ground_size();
+    if (tsize > o_.k_) return kNegInf;
+    if (tsize == 0) return 0.0;
+    for (const int i : t)
+      check_arg(i >= 0 && static_cast<std::size_t>(i) < n,
+                "log_joint: index out of range");
+    if (tsize == 1 && o_.log_partition() != kNegInf)
+      return o_.log_marginal_cache()[static_cast<std::size_t>(t[0])];
+    // Incremental Cholesky of L_T, one bordered row per element; a
+    // non-PD extension means P[T ⊆ S] = 0 (duplicates land here too).
+    // The threshold is seeded with the whole block's largest diagonal so
+    // the singularity verdict matches the from-scratch cholesky(L_T)
+    // exactly, independent of the batch's element order.
+    double max_diag = 0.0;
+    for (const int i : t)
+      max_diag = std::max(max_diag, std::abs(o_.l_(static_cast<std::size_t>(i),
+                                                   static_cast<std::size_t>(i))));
+    chol_.clear(max_diag);
+    row_.resize(tsize);
+    for (std::size_t r = 0; r < tsize; ++r) {
+      const auto tr = static_cast<std::size_t>(t[r]);
+      for (std::size_t c = 0; c <= r; ++c)
+        row_[c] = o_.l_(tr, static_cast<std::size_t>(t[c]));
+      if (!chol_.append(std::span<const double>(row_.data(), r + 1)))
+        return kNegInf;
+    }
+    const double log_det_t = chol_.log_det();
+    if (tsize == o_.k_) return log_det_t - o_.log_partition();
+    // e_{k-t} of the conditional spectrum, via the already-built factor.
+    complement_into(t, n);
+    schur_complement_sym_into(o_.l_, keep_, t, chol_, y_, reduced_);
+    lambda_ = symmetric_eigenvalues(reduced_);
+    clamp_spectrum_to_rank(lambda_);
+    const auto log_e = log_esp(lambda_, o_.k_ - tsize);
+    const double tail = log_e[o_.k_ - tsize];
+    if (tail == kNegInf) return kNegInf;
+    return log_det_t + tail - o_.log_partition();
+  }
+
+ private:
+  // complement_indices into reused storage (t is distinct by the time the
+  // Cholesky of L_T succeeded).
+  void complement_into(std::span<const int> t, std::size_t n) {
+    mask_.assign(n, 0);
+    for (const int i : t) mask_[static_cast<std::size_t>(i)] = 1;
+    keep_.clear();
+    for (std::size_t i = 0; i < n; ++i)
+      if (mask_[i] == 0) keep_.push_back(static_cast<int>(i));
+  }
+
+  const SymmetricKdppOracle& o_;
+  IncrementalCholesky chol_;
+  std::vector<double> row_;
+  std::vector<char> mask_;
+  std::vector<int> keep_;
+  std::vector<double> y_;
+  std::vector<double> lambda_;
+  Matrix reduced_;
+};
+
+std::unique_ptr<ConditionalState> SymmetricKdppOracle::make_conditional_state()
+    const {
+  return std::make_unique<State>(*this);
 }
 
 std::unique_ptr<CountingOracle> SymmetricKdppOracle::condition(
@@ -116,6 +200,9 @@ std::unique_ptr<CountingOracle> SymmetricKdppOracle::clone() const {
 void SymmetricKdppOracle::prepare_concurrent() const {
   (void)eigen();
   (void)esp();
+  // Rank-deficient ensembles (e_k = 0) keep the degenerate from-scratch
+  // semantics; marginals would throw, so only prime the feasible case.
+  if (log_partition() != kNegInf) (void)log_marginal_cache();
 }
 
 }  // namespace pardpp

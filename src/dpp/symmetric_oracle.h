@@ -7,6 +7,13 @@
 // where L^T is the Schur-complement conditional ensemble (paper §3.2).
 // Elementary symmetric polynomials are evaluated in log domain (esp.h);
 // eigen decompositions are cached lazily per conditional state.
+//
+// Batch queries go through a ConditionalState (oracle.h): the shared
+// factors (eigen, ESP table, marginals) are cached here and primed once
+// by prepare_concurrent(); the state answers |T| = 1 queries by a cached
+// leave-one-out ESP lookup and larger T by an incrementally grown
+// Cholesky factor feeding a scratch-reusing Schur complement — no
+// per-query refactorization of the shared prefix.
 #pragma once
 
 #include <optional>
@@ -36,6 +43,8 @@ class SymmetricKdppOracle final : public CountingOracle {
     return "symmetric-kdpp";
   }
   void prepare_concurrent() const override;
+  [[nodiscard]] std::unique_ptr<ConditionalState> make_conditional_state()
+      const override;
 
   /// The (conditional) ensemble matrix.
   [[nodiscard]] const Matrix& ensemble() const noexcept { return l_; }
@@ -44,13 +53,19 @@ class SymmetricKdppOracle final : public CountingOracle {
   [[nodiscard]] double log_partition() const;
 
  private:
+  class State;
+
   const SymmetricEigen& eigen() const;
   const LogEspTable& esp() const;
+  const std::vector<double>& marginal_cache() const;
+  const std::vector<double>& log_marginal_cache() const;
 
   Matrix l_;
   std::size_t k_;
   mutable std::optional<SymmetricEigen> eigen_;
   mutable std::optional<LogEspTable> esp_;
+  mutable std::optional<std::vector<double>> marginals_;
+  mutable std::optional<std::vector<double>> log_marginals_;
 };
 
 }  // namespace pardpp

@@ -64,6 +64,161 @@ class CholeskyDecomposition {
   Matrix lower_;
 };
 
+/// Incrementally grown Cholesky factorization of a principal submatrix
+/// chain A_1 ⊂ A_2 ⊂ ... — the per-query factor behind the batch
+/// counting queries: a ConditionalState factors L_T one bordered row per
+/// batch element in reused scratch, and `truncate()` can pop back to a
+/// shared prefix for callers whose queries literally extend one another.
+/// The row-by-row arithmetic is identical to `cholesky()` below, so
+/// determinants and solves agree to the last bit with a from-scratch
+/// factorization of the same matrix.
+class IncrementalCholesky {
+ public:
+  /// Reserves room for matrices up to `capacity` rows (grows on demand).
+  explicit IncrementalCholesky(std::size_t capacity = 0, double tol = 1e-12)
+      : tol_(tol) {
+    reserve(capacity);
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+
+  void reserve(std::size_t capacity) {
+    if (capacity > cap_) {
+      Matrix grown(capacity, capacity);
+      for (std::size_t i = 0; i < size_; ++i)
+        for (std::size_t j = 0; j <= i; ++j) grown(i, j) = lower_(i, j);
+      lower_ = std::move(grown);
+      cap_ = capacity;
+    }
+  }
+
+  /// Drops all rows (reuse the scratch for a fresh matrix).
+  /// `max_abs_diag` seeds the positive-definiteness threshold with the
+  /// full matrix's largest |diagonal| when the caller knows it upfront —
+  /// matching `cholesky()`'s global threshold exactly, where the running
+  /// row-by-row maximum alone would judge early pivots more leniently
+  /// (and make the verdict depend on the append order).
+  void clear(double max_abs_diag = 0.0) noexcept {
+    size_ = 0;
+    seed_diag_ = max_abs_diag;
+    max_diag_ = max_abs_diag;
+    log_det_ = 0.0;
+  }
+
+  /// Pops back to the first `prefix` rows — the factor of the prefix's
+  /// principal submatrix, exactly as it was before the later appends:
+  /// the tolerance scale is rebuilt from the retained rows' diagonals
+  /// (reconstructed from the factor) plus the clear() seed, so the
+  /// positive-definiteness verdict of later appends does not depend on
+  /// rows that were appended and popped in between.
+  void truncate(std::size_t prefix) {
+    check_arg(prefix <= size_, "IncrementalCholesky: truncate past size");
+    size_ = prefix;
+    max_diag_ = seed_diag_;
+    log_det_ = 0.0;
+    for (std::size_t i = 0; i < size_; ++i) {
+      const double d = lower_(i, i);
+      max_diag_ = std::max(max_diag_, d * d + dot(i, i));
+      log_det_ += std::log(d);
+    }
+    log_det_ *= 2.0;
+  }
+
+  /// Appends the bordered row `row` = A(r, 0..r) of the grown matrix
+  /// (row.size() == size() + 1, last entry the new diagonal). Returns
+  /// false — leaving the factor unchanged — when the extended matrix is
+  /// not positive definite beyond the tolerance, mirroring `cholesky()`'s
+  /// failure condition (P[T ⊆ S] = 0 in oracle terms).
+  [[nodiscard]] bool append(std::span<const double> row) {
+    check_arg(row.size() == size_ + 1, "IncrementalCholesky: row size");
+    if (size_ + 1 > cap_) reserve(std::max<std::size_t>(2 * cap_, size_ + 1));
+    const std::size_t r = size_;
+    // The threshold scale is committed only on success: a rejected
+    // extension must leave the factor — including the tolerance state —
+    // exactly as it was, so probe-style callers (try i, truncate, try j)
+    // are not poisoned by a rejected row's large diagonal.
+    const double max_diag = std::max(max_diag_, std::abs(row[r]));
+    const double threshold = std::max(tol_ * max_diag, 1e-300);
+    for (std::size_t j = 0; j < r; ++j) {
+      double acc = row[j];
+      for (std::size_t k = 0; k < j; ++k)
+        acc -= lower_(r, k) * lower_(j, k);
+      lower_(r, j) = acc / lower_(j, j);
+    }
+    double diag = row[r];
+    for (std::size_t k = 0; k < r; ++k) diag -= lower_(r, k) * lower_(r, k);
+    if (diag <= threshold) return false;
+    lower_(r, r) = std::sqrt(diag);
+    log_det_ += 2.0 * std::log(lower_(r, r));
+    max_diag_ = max_diag;
+    size_ = r + 1;
+    return true;
+  }
+
+  /// log det of the factored principal submatrix.
+  [[nodiscard]] double log_det() const noexcept { return log_det_; }
+
+  [[nodiscard]] double entry(std::size_t i, std::size_t j) const noexcept {
+    return lower_(i, j);
+  }
+
+  /// Solves R y = b in place (forward substitution with the lower factor),
+  /// column-wise over `b`'s `cols` columns of length size() stored
+  /// row-major with stride `stride`. With A = R R^T this yields
+  /// Y = R^{-1} B, whose Gram Y^T Y equals B^T A^{-1} B — the half-solve
+  /// form the incremental Schur complement consumes.
+  void forward_solve_rows(double* b, std::size_t cols,
+                          std::size_t stride) const {
+    for (std::size_t i = 0; i < size_; ++i) {
+      double* bi = b + i * stride;
+      for (std::size_t k = 0; k < i; ++k) {
+        const double l = lower_(i, k);
+        const double* bk = b + k * stride;
+        for (std::size_t c = 0; c < cols; ++c) bi[c] -= l * bk[c];
+      }
+      const double inv = 1.0 / lower_(i, i);
+      for (std::size_t c = 0; c < cols; ++c) bi[c] *= inv;
+    }
+  }
+
+ private:
+  [[nodiscard]] double dot(std::size_t i, std::size_t j) const noexcept {
+    double acc = 0.0;
+    for (std::size_t k = 0; k < std::min(i, j); ++k)
+      acc += lower_(i, k) * lower_(j, k);
+    return acc;
+  }
+
+  Matrix lower_;
+  std::size_t size_ = 0;
+  std::size_t cap_ = 0;
+  double tol_ = 1e-12;
+  double seed_diag_ = 0.0;  // clear()'s threshold seed, kept for truncate()
+  double max_diag_ = 0.0;
+  double log_det_ = 0.0;
+};
+
+/// Rank-1 update of a Cholesky factor: given lower-triangular L with
+/// A = L L^T, rewrites L in place so that L L^T = A + v v^T (the stable
+/// hyperbolic-rotation-free scheme of Gill–Golub–Murray–Saunders).
+/// `v` is consumed as scratch.
+inline void cholesky_update(Matrix& lower, std::span<double> v) {
+  check_arg(lower.square() && v.size() == lower.rows(),
+            "cholesky_update: size mismatch");
+  const std::size_t n = lower.rows();
+  for (std::size_t j = 0; j < n; ++j) {
+    const double ljj = lower(j, j);
+    const double r = std::hypot(ljj, v[j]);
+    const double c = r / ljj;
+    const double s = v[j] / ljj;
+    lower(j, j) = r;
+    for (std::size_t i = j + 1; i < n; ++i) {
+      lower(i, j) = (lower(i, j) + s * v[i]) / c;
+      v[i] = c * v[i] - s * lower(i, j);
+    }
+  }
+}
+
 /// Attempts a Cholesky factorization; returns nullopt when the matrix is
 /// not positive definite beyond `tol` (relative to the largest diagonal).
 [[nodiscard]] inline std::optional<CholeskyDecomposition> cholesky(

@@ -7,6 +7,7 @@
 // carried as logarithms and combined with log_add.
 #pragma once
 
+#include <algorithm>
 #include <span>
 #include <vector>
 
@@ -19,6 +20,22 @@ namespace pardpp {
 /// PSD spectra). e_0 = 1 by convention.
 [[nodiscard]] std::vector<double> log_esp(std::span<const double> lambda,
                                           std::size_t jmax);
+
+/// Clamps roundoff-level eigenvalues to exact zeros, so rank deficiency
+/// is detected by the ESP recurrence (e_j of a rank-r spectrum must
+/// vanish for j > r). The floor is the single numerically load-bearing
+/// tolerance of the determinantal oracles — every path that feeds a
+/// conditional spectrum into log_esp must clamp with this one helper so
+/// the incremental and from-scratch resolves agree on what counts as
+/// zero.
+inline void clamp_spectrum_to_rank(std::vector<double>& lambda) {
+  double top = 0.0;
+  for (const double v : lambda) top = std::max(top, v);
+  const double floor = top * 1e-12 * static_cast<double>(lambda.size());
+  for (double& v : lambda) {
+    if (v < floor) v = 0.0;
+  }
+}
 
 /// Prefix/suffix table of log elementary symmetric polynomials supporting
 /// leave-one-out queries, the standard device behind k-DPP marginals:

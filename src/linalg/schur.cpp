@@ -58,6 +58,39 @@ SchurResult schur_complement(const Matrix& m, std::span<const int> keep,
   return {std::move(reduced), log_det, sign};
 }
 
+void schur_complement_sym_into(const Matrix& m, std::span<const int> keep,
+                               std::span<const int> elim,
+                               const IncrementalCholesky& chol,
+                               std::vector<double>& y_scratch,
+                               Matrix& reduced) {
+  check_arg(m.square(), "schur_complement_sym_into: matrix not square");
+  check_arg(chol.size() == elim.size(),
+            "schur_complement_sym_into: factor size mismatch");
+  const std::size_t nk = keep.size();
+  const std::size_t ne = elim.size();
+  if (reduced.rows() != nk || reduced.cols() != nk) reduced = Matrix(nk, nk);
+  // Y = R^{-1} M_EK, one row per eliminated element.
+  y_scratch.resize(ne * nk);
+  for (std::size_t r = 0; r < ne; ++r) {
+    const auto er = static_cast<std::size_t>(elim[r]);
+    double* row = y_scratch.data() + r * nk;
+    for (std::size_t j = 0; j < nk; ++j)
+      row[j] = m(er, static_cast<std::size_t>(keep[j]));
+  }
+  chol.forward_solve_rows(y_scratch.data(), nk, nk);
+  // reduced = M_KK - Y^T Y (symmetric, fill the upper triangle and mirror).
+  for (std::size_t i = 0; i < nk; ++i) {
+    const auto ki = static_cast<std::size_t>(keep[i]);
+    for (std::size_t j = i; j < nk; ++j) {
+      double acc = m(ki, static_cast<std::size_t>(keep[j]));
+      for (std::size_t r = 0; r < ne; ++r)
+        acc -= y_scratch[r * nk + i] * y_scratch[r * nk + j];
+      reduced(i, j) = acc;
+      reduced(j, i) = acc;
+    }
+  }
+}
+
 SchurResult condition_ensemble(const Matrix& l, std::span<const int> t,
                                bool symmetric) {
   const auto keep = complement_indices(l.rows(), t);

@@ -11,6 +11,7 @@
 #include <span>
 #include <vector>
 
+#include "linalg/cholesky.h"
 #include "linalg/matrix.h"
 #include "support/logsum.h"
 
@@ -31,6 +32,21 @@ struct SchurResult {
                                            std::span<const int> keep,
                                            std::span<const int> elim,
                                            bool symmetric);
+
+/// Incremental symmetric Schur complement: eliminates the `elim` block of
+/// symmetric `m` using an already-built IncrementalCholesky of
+/// m.principal(elim) — the factor a shared-prefix batch query grew row by
+/// row — instead of refactoring it. Writes
+///   reduced = M_KK - Y^T Y,   Y = R^{-1} M_EK   (M_EE = R R^T),
+/// which equals the symmetric `schur_complement` path to roundoff while
+/// doing one forward substitution instead of a full solve. `reduced` and
+/// `y_scratch` are caller-owned scratch, reused across the queries of a
+/// wave; `reduced` is reallocated only when the kept block's size changes.
+void schur_complement_sym_into(const Matrix& m, std::span<const int> keep,
+                               std::span<const int> elim,
+                               const IncrementalCholesky& chol,
+                               std::vector<double>& y_scratch,
+                               Matrix& reduced);
 
 /// Convenience for ensemble conditioning: eliminates T, keeps the
 /// complement of T in ascending original order.

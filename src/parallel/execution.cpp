@@ -1,5 +1,7 @@
 #include "parallel/execution.h"
 
+#include <thread>
+
 namespace pardpp {
 
 namespace {
@@ -8,6 +10,12 @@ ExecutionContext& mutable_linalg_context() noexcept {
   return context;
 }
 }  // namespace
+
+std::size_t physical_concurrency() noexcept {
+  static const std::size_t cores =
+      std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  return cores;
+}
 
 const ExecutionContext& linalg_context() noexcept {
   return mutable_linalg_context();

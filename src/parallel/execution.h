@@ -25,6 +25,11 @@
 //  3. Nested rounds degenerate to serial execution on the worker they
 //     occupy (see the nesting guard in parallel_for.h), so oracles may
 //     parallelize internally without deadlocking the pool.
+//  4. Fan-out follows *physical* concurrency: a pool wider than the host's
+//     core count adds speculative work and dispatch cost without adding
+//     parallel execution, so `can_fan_out()`/`wave_width()` clamp to
+//     `physical_concurrency()`. On a single-core host every pool size
+//     therefore executes the identical serial instruction stream.
 #pragma once
 
 #include <cstddef>
@@ -37,6 +42,11 @@
 #include "support/random.h"
 
 namespace pardpp {
+
+/// Number of hardware execution units actually available to this process
+/// (>= 1). Pools may hold more threads than this; policy decisions about
+/// fan-out and speculation width should not.
+[[nodiscard]] std::size_t physical_concurrency() noexcept;
 
 /// Execution state threaded through samplers, oracles, and linalg.
 class ExecutionContext {
@@ -66,38 +76,69 @@ class ExecutionContext {
     return {pool_, nullptr};
   }
 
-  /// Physical workers available to one round (1 = serial).
+  /// Threads the attached pool holds (1 = serial). This is the pool's
+  /// width, not the host's: use physical_workers() for policy.
   [[nodiscard]] std::size_t workers() const noexcept {
     return pool_ != nullptr ? std::max<std::size_t>(pool_->size(), 1) : 1;
   }
 
+  /// Workers that can actually execute concurrently: the pool width
+  /// clamped to the host's physical concurrency (convention 4).
+  [[nodiscard]] std::size_t physical_workers() const noexcept {
+    return std::min(workers(), physical_concurrency());
+  }
+
   /// True when a round fanned out here would actually run concurrently:
-  /// a multi-worker pool is attached and the caller is not already
-  /// inside a parallel body (nested rounds degenerate serial — see the
-  /// guard in parallel_for.h). Every "parallel or serial strategy?"
-  /// branch must use this, so the degeneration policy lives in one place.
+  /// a pool is attached, the host has more than one execution unit for
+  /// it, and the caller is not already inside a parallel body (nested
+  /// rounds degenerate serial — see the guard in parallel_for.h). Every
+  /// "parallel or serial strategy?" branch must use this, so the
+  /// degeneration policy lives in one place.
   [[nodiscard]] bool can_fan_out() const noexcept {
-    return workers() > 1 && !in_parallel_region();
+    return physical_workers() > 1 && !in_parallel_region();
   }
 
   /// Number of speculative rejection trials to launch per wave: one per
-  /// worker. A wider wave would only deepen the critical path (a wave is
-  /// ceil(width / workers) oracle evaluations deep) while wasting
-  /// speculative queries past the first acceptance. Degenerates to 1
-  /// when the trials would run serially anyway (no pool, or nested).
+  /// physically concurrent worker. A wider wave would only deepen the
+  /// critical path (a wave is ceil(width / workers) oracle evaluations
+  /// deep) while wasting speculative queries past the first acceptance —
+  /// and pool threads beyond the core count execute nothing in parallel,
+  /// so they never widen the wave. Degenerates to 1 when the trials
+  /// would run serially anyway (no pool, single core, or nested).
   [[nodiscard]] std::size_t wave_width() const noexcept {
-    return can_fan_out() ? workers() : 1;
+    return can_fan_out() ? physical_workers() : 1;
   }
 
-  /// Runs fn(i) for i in [begin, end) — on the pool when one is attached,
-  /// serially otherwise. Bodies must write to disjoint state.
+  /// Runs fn(i) for i in [begin, end) — fanned out on the pool when
+  /// can_fan_out() holds, serially on the calling thread otherwise.
+  /// `grain` is the minimum number of consecutive indices per dispatched
+  /// task: pass the approximate number of cheap bodies worth one
+  /// dispatch, so per-task overhead stops dominating small trials.
+  /// Bodies must write to disjoint state.
   template <typename Fn>
-  void for_each(std::size_t begin, std::size_t end, Fn&& fn) const {
-    if (pool_ == nullptr) {
+  void for_each(std::size_t begin, std::size_t end, Fn&& fn,
+                std::size_t grain = 1) const {
+    if (!can_fan_out()) {
       for (std::size_t i = begin; i < end; ++i) fn(i);
       return;
     }
-    parallel_for(*pool_, begin, end, fn);
+    parallel_for(*pool_, begin, end, fn, grain);
+  }
+
+  /// Chunked variant: runs fn(lo, hi) over a partition of [begin, end),
+  /// one call per dispatched task (a single call covering the whole range
+  /// when running serially). The hook for batch work that amortizes
+  /// per-chunk setup — scratch buffers, shared-prefix factorizations —
+  /// across the chunk's items (CountingOracle::query_many builds one
+  /// ConditionalState per chunk this way).
+  template <typename Fn>
+  void for_each_chunk(std::size_t begin, std::size_t end, Fn&& fn) const {
+    if (begin >= end) return;
+    if (!can_fan_out()) {
+      fn(begin, end);
+      return;
+    }
+    parallel_for_chunks(*pool_, begin, end, fn);
   }
 
   /// Charges one logical PRAM round to the attached ledger (no-op when
@@ -151,6 +192,11 @@ class MachineStreams {
 ///    draw consumption already recorded in the trial) and returns true to
 ///    accept, which ends the run.
 ///
+/// `evaluate_grain` is forwarded to the wave's for_each: samplers whose
+/// evaluate bodies are cheap (a few categorical draws) pass a large grain
+/// so a wave costs at most one dispatch, while samplers whose evaluate
+/// performs real linear algebra keep the default of one task per trial.
+///
 /// Returns whether any trial was accepted. Because trials are
 /// machine-indexed and the fold scans in order, the accepted trial is the
 /// lowest-index acceptance — invariant under the wave width, hence under
@@ -158,16 +204,18 @@ class MachineStreams {
 template <typename Trial, typename Evaluate, typename Barrier, typename Fold>
 bool run_trial_waves(const ExecutionContext& ctx, std::size_t machines,
                      RandomStream& rng, Evaluate&& evaluate,
-                     Barrier&& barrier, Fold&& fold) {
+                     Barrier&& barrier, Fold&& fold,
+                     std::size_t evaluate_grain = 1) {
   const MachineStreams streams(rng);
   const std::size_t width_cap = std::max<std::size_t>(ctx.wave_width(), 1);
   std::vector<Trial> trials;
   for (std::size_t wave_lo = 0; wave_lo < machines; wave_lo += width_cap) {
     const std::size_t width = std::min(machines - wave_lo, width_cap);
     trials.assign(width, Trial{});
-    ctx.for_each(0, width, [&](std::size_t w) {
-      evaluate(trials[w], streams.stream(wave_lo + w));
-    });
+    ctx.for_each(
+        0, width,
+        [&](std::size_t w) { evaluate(trials[w], streams.stream(wave_lo + w)); },
+        evaluate_grain);
     barrier(std::span<Trial>(trials.data(), width));
     for (std::size_t w = 0; w < width; ++w) {
       if (fold(trials[w])) return true;

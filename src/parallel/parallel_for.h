@@ -56,21 +56,25 @@ inline void join_all(std::vector<std::future<void>>& futures) {
   return detail::in_parallel_worker;
 }
 
-/// Runs fn(i) for i in [begin, end) on the pool, blocking until all bodies
-/// complete. Bodies must write to disjoint state. Degenerates to a serial
-/// loop when the range is small, the pool has a single worker, or the call
-/// is already nested inside another parallel_for body.
-template <typename Fn>
-void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
-                  Fn&& fn) {
+/// Runs fn(lo, hi) over a partition of [begin, end) on the pool, one task
+/// per part, blocking until all parts complete. The chunk callback is the
+/// amortization hook: per-chunk setup (scratch buffers, shared
+/// factorizations) is paid once per task instead of once per index.
+/// Degenerates to a single fn(begin, end) call on the calling thread when
+/// the pool has a single worker or the call is nested.
+template <typename ChunkFn>
+void parallel_for_chunks(ThreadPool& pool, std::size_t begin, std::size_t end,
+                         ChunkFn&& fn, std::size_t grain = 1) {
   const std::size_t count = end > begin ? end - begin : 0;
   if (count == 0) return;
+  grain = std::max<std::size_t>(grain, 1);
   const std::size_t workers = pool.size();
-  if (count == 1 || workers <= 1 || detail::in_parallel_worker) {
-    for (std::size_t i = begin; i < end; ++i) fn(i);
+  const std::size_t chunks =
+      std::min({count, workers * 4, (count + grain - 1) / grain});
+  if (chunks <= 1 || workers <= 1 || detail::in_parallel_worker) {
+    fn(begin, end);
     return;
   }
-  const std::size_t chunks = std::min(count, workers * 4);
   const std::size_t chunk_size = (count + chunks - 1) / chunks;
   std::vector<std::future<void>> futures;
   futures.reserve(chunks);
@@ -80,10 +84,27 @@ void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
     const std::size_t hi = std::min(end, lo + chunk_size);
     futures.push_back(pool.submit([lo, hi, &fn] {
       const detail::ParallelWorkerScope scope;
-      for (std::size_t i = lo; i < hi; ++i) fn(i);
+      fn(lo, hi);
     }));
   }
   detail::join_all(futures);
+}
+
+/// Runs fn(i) for i in [begin, end) on the pool, blocking until all bodies
+/// complete. Bodies must write to disjoint state. `grain` is the minimum
+/// number of indices per dispatched task (cheap bodies should pass a large
+/// grain so dispatch overhead amortizes). Degenerates to a serial loop
+/// when the range is below the grain, the pool has a single worker, or the
+/// call is already nested inside another parallel_for body.
+template <typename Fn>
+void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
+                  Fn&& fn, std::size_t grain = 1) {
+  parallel_for_chunks(
+      pool, begin, end,
+      [&fn](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) fn(i);
+      },
+      grain);
 }
 
 /// Convenience overload on the shared pool.

@@ -73,6 +73,8 @@ std::optional<std::vector<int>> run_batch_round(
         }
         answers.assign(queries.size(), kNegInf);
         if (queries.empty()) return;
+        ++diag.wave_count;
+        diag.wave_queries += queries.size();
         mu.query_many(queries, answers, ctx);
         for (std::size_t q = 0; q < queries.size(); ++q)
           wave[query_owner[q]].log_joint = answers[q];
@@ -107,7 +109,11 @@ std::optional<std::vector<int>> run_batch_round(
           return true;
         }
         return false;
-      });
+      },
+      // The evaluate bodies are a handful of categorical draws; the
+      // wave's heavy work is the barrier's batched oracle round, so
+      // never pay a per-trial dispatch for them.
+      /*evaluate_grain=*/16);
   return accepted;
 }
 

@@ -16,6 +16,8 @@ struct SampleDiagnostics {
   std::size_t ratio_overflows = 0;    ///< proposals with ratio above the cap
                                       ///< (Algorithm 3 "bad events")
   std::size_t oracle_calls = 0;       ///< counting-oracle queries issued
+  std::size_t wave_count = 0;         ///< batched query_many rounds issued
+  std::size_t wave_queries = 0;       ///< queries answered in those rounds
   PramStats pram;                     ///< PRAM depth/work/machines ledger
 
   /// Overall acceptance frequency of the rejection stages.
@@ -23,6 +25,15 @@ struct SampleDiagnostics {
     return proposals == 0 ? 1.0
                           : static_cast<double>(accepted_batches) /
                                 static_cast<double>(proposals);
+  }
+
+  /// Mean counting queries amortized onto one shared-prefix wave state —
+  /// the speculative work the batch-query engine answers per conditional
+  /// factorization round (1.0 = nothing amortized, serial behaviour).
+  [[nodiscard]] double queries_per_wave() const {
+    return wave_count == 0 ? 1.0
+                           : static_cast<double>(wave_queries) /
+                                 static_cast<double>(wave_count);
   }
 };
 

@@ -81,7 +81,10 @@ RejectionOutcome rejection_sample_finite(std::span<const double> log_target,
           return true;
         }
         return false;
-      });
+      },
+      // One categorical and one Bernoulli draw per trial: dispatching
+      // these individually would cost more than evaluating them.
+      /*evaluate_grain=*/256);
   return out;
 }
 

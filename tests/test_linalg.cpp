@@ -4,6 +4,7 @@
 
 #include <cmath>
 #include <complex>
+#include <span>
 
 #include "linalg/cholesky.h"
 #include "linalg/factory.h"
@@ -332,6 +333,118 @@ TEST(Factory, RandomPartitionCoversAllParts) {
   std::vector<int> counts(3, 0);
   for (const int p : part) ++counts[static_cast<std::size_t>(p)];
   for (const int c : counts) EXPECT_GE(c, 1);
+}
+
+// ---- incremental Cholesky (shared-prefix batch queries) ----
+
+TEST(IncrementalCholesky, AppendMatchesFromScratch) {
+  RandomStream rng(41);
+  const Matrix a = random_psd(7, 7, rng, 1e-2);
+  IncrementalCholesky inc(7);
+  std::vector<double> row;
+  for (std::size_t r = 0; r < 7; ++r) {
+    row.resize(r + 1);
+    for (std::size_t c = 0; c <= r; ++c) row[c] = a(r, c);
+    ASSERT_TRUE(inc.append(row));
+  }
+  const auto full = cholesky(a);
+  ASSERT_TRUE(full.has_value());
+  for (std::size_t i = 0; i < 7; ++i)
+    for (std::size_t j = 0; j <= i; ++j)
+      EXPECT_DOUBLE_EQ(inc.entry(i, j), full->lower()(i, j));
+  EXPECT_NEAR(inc.log_det(), full->log_det(), 1e-12);
+}
+
+TEST(IncrementalCholesky, TruncateRestoresSharedPrefix) {
+  RandomStream rng(42);
+  const Matrix a = random_psd(6, 6, rng, 1e-2);
+  IncrementalCholesky inc(6);
+  std::vector<double> row;
+  const auto append_row = [&](const Matrix& m, std::size_t r,
+                              std::span<const int> idx) {
+    row.resize(r + 1);
+    for (std::size_t c = 0; c <= r; ++c)
+      row[c] = m(static_cast<std::size_t>(idx[r]),
+                 static_cast<std::size_t>(idx[c]));
+    return inc.append(row);
+  };
+  // Factor prefix {0, 2} then extend to {0, 2, 4}; truncate back and
+  // extend to {0, 2, 5} — the prefix factor must be reused exactly.
+  const std::vector<int> first = {0, 2, 4};
+  for (std::size_t r = 0; r < 3; ++r) ASSERT_TRUE(append_row(a, r, first));
+  const double log_det_first = inc.log_det();
+  inc.truncate(2);
+  const std::vector<int> second = {0, 2, 5};
+  ASSERT_TRUE(append_row(a, 2, second));
+  const auto direct_first = cholesky(a.principal(first));
+  const auto direct_second = cholesky(a.principal(second));
+  ASSERT_TRUE(direct_first.has_value() && direct_second.has_value());
+  EXPECT_NEAR(log_det_first, direct_first->log_det(), 1e-12);
+  EXPECT_NEAR(inc.log_det(), direct_second->log_det(), 1e-12);
+}
+
+TEST(IncrementalCholesky, RejectsNonPositiveDefiniteExtension) {
+  // Appending a duplicate row makes the extension singular; the factor
+  // must stay usable at its previous size.
+  RandomStream rng(43);
+  const Matrix a = random_psd(5, 5, rng, 1e-2);
+  IncrementalCholesky inc;
+  std::vector<double> row = {a(1, 1)};
+  ASSERT_TRUE(inc.append(row));
+  row = {a(1, 1), a(1, 1)};  // the same element twice: rank 1 block
+  EXPECT_FALSE(inc.append(row));
+  EXPECT_EQ(inc.size(), 1u);
+  row = {a(3, 1), a(3, 3)};
+  EXPECT_TRUE(inc.append(row));
+  const std::vector<int> idx = {1, 3};
+  const auto direct = cholesky(a.principal(idx));
+  ASSERT_TRUE(direct.has_value());
+  EXPECT_NEAR(inc.log_det(), direct->log_det(), 1e-12);
+}
+
+TEST(CholeskyUpdate, RankOneUpdateMatchesRefactorization) {
+  RandomStream rng(44);
+  const Matrix a = random_psd(6, 6, rng, 1e-2);
+  RandomStream vec_rng(45);
+  std::vector<double> v(6);
+  for (double& x : v) x = vec_rng.uniform(-1.0, 1.0);
+  Matrix updated = a;
+  for (std::size_t i = 0; i < 6; ++i)
+    for (std::size_t j = 0; j < 6; ++j) updated(i, j) += v[i] * v[j];
+  auto factor = cholesky(a);
+  ASSERT_TRUE(factor.has_value());
+  Matrix lower = factor->lower();
+  cholesky_update(lower, v);
+  const auto direct = cholesky(updated);
+  ASSERT_TRUE(direct.has_value());
+  for (std::size_t i = 0; i < 6; ++i)
+    for (std::size_t j = 0; j <= i; ++j)
+      EXPECT_NEAR(lower(i, j), direct->lower()(i, j), 1e-10);
+}
+
+TEST(SchurComplement, IncrementalMatchesFromScratch) {
+  RandomStream rng(46);
+  const Matrix m = random_psd(9, 9, rng, 1e-2);
+  const std::vector<int> elim = {1, 4, 7};
+  const auto keep = complement_indices(9, elim);
+  IncrementalCholesky chol(3);
+  std::vector<double> row;
+  for (std::size_t r = 0; r < elim.size(); ++r) {
+    row.resize(r + 1);
+    for (std::size_t c = 0; c <= r; ++c)
+      row[c] = m(static_cast<std::size_t>(elim[r]),
+                 static_cast<std::size_t>(elim[c]));
+    ASSERT_TRUE(chol.append(row));
+  }
+  std::vector<double> scratch;
+  Matrix reduced;
+  schur_complement_sym_into(m, keep, elim, chol, scratch, reduced);
+  const auto reference = schur_complement(m, keep, elim, /*symmetric=*/true);
+  ASSERT_EQ(reduced.rows(), reference.reduced.rows());
+  for (std::size_t i = 0; i < reduced.rows(); ++i)
+    for (std::size_t j = 0; j < reduced.cols(); ++j)
+      EXPECT_NEAR(reduced(i, j), reference.reduced(i, j), 1e-11);
+  EXPECT_NEAR(chol.log_det(), reference.log_abs_det_elim, 1e-11);
 }
 
 }  // namespace

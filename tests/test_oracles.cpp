@@ -1,16 +1,21 @@
 // Validation of every counting oracle against exhaustive enumeration:
-// joint marginals, singleton marginals, conditioning consistency.
+// joint marginals, singleton marginals, conditioning consistency — plus
+// the ConditionalState property fuzz: the incremental batch-query path
+// must match the from-scratch resolve to 1e-10 on randomized ensembles.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 
 #include "distributions/hard_instance.h"
 #include "distributions/product.h"
+#include "dpp/feature_oracle.h"
 #include "dpp/general_oracle.h"
 #include "dpp/subdivision.h"
 #include "dpp/symmetric_oracle.h"
 #include "linalg/factory.h"
 #include "linalg/lu.h"
+#include "parallel/thread_pool.h"
 #include "support/random.h"
 #include "test_util.h"
 
@@ -338,6 +343,114 @@ TEST(HardInstance, RejectsOddParameters) {
   EXPECT_THROW(HardInstanceOracle(7, 4), InvalidArgument);
   EXPECT_THROW(HardInstanceOracle(8, 3), InvalidArgument);
   EXPECT_THROW(HardInstanceOracle(4, 6), InvalidArgument);
+}
+
+// ---- ConditionalState: incremental batch queries vs from-scratch ----
+
+// Draws a uniformly random distinct subset of [n] of the given size, in
+// shuffled (not sorted) order, so the incremental Cholesky extension is
+// exercised on arbitrary prefixes.
+std::vector<int> random_subset(std::size_t n, std::size_t size,
+                               RandomStream& rng) {
+  std::vector<int> pool(n);
+  for (std::size_t i = 0; i < n; ++i) pool[i] = static_cast<int>(i);
+  for (std::size_t i = 0; i < size; ++i) {
+    const auto j = i + static_cast<std::size_t>(
+                           rng.uniform_index(static_cast<std::uint64_t>(n - i)));
+    std::swap(pool[i], pool[j]);
+  }
+  pool.resize(size);
+  return pool;
+}
+
+// One state reused across every query of one oracle (the wave pattern):
+// each answer must match the from-scratch resolve to 1e-10, and -inf
+// (probability zero) must agree exactly.
+void expect_state_matches_from_scratch(const CountingOracle& oracle,
+                                       RandomStream& rng, int queries) {
+  oracle.prepare_concurrent();
+  const auto state = oracle.make_conditional_state();
+  const std::size_t n = oracle.ground_size();
+  const std::size_t k = oracle.sample_size();
+  for (int q = 0; q < queries; ++q) {
+    const std::size_t tsize =
+        static_cast<std::size_t>(rng.uniform_index(k + 1));
+    const auto t = random_subset(n, tsize, rng);
+    const double incremental = state->log_joint(t);
+    const double reference = oracle.log_joint_marginal(t);
+    if (reference == kNegInf || incremental == kNegInf) {
+      EXPECT_EQ(incremental, reference) << oracle.name() << " |T|=" << tsize;
+      continue;
+    }
+    EXPECT_NEAR(incremental, reference, 1e-10)
+        << oracle.name() << " |T|=" << tsize;
+  }
+}
+
+TEST(ConditionalStateFuzz, SymmetricIncrementalMatchesFromScratch) {
+  RandomStream rng(424201);
+  for (int round = 0; round < 8; ++round) {
+    const std::size_t n = 6 + static_cast<std::size_t>(rng.uniform_index(5));
+    const std::size_t k =
+        1 + static_cast<std::size_t>(rng.uniform_index(n - 1));
+    const Matrix l = random_psd(n, n, rng, 1e-3);
+    const SymmetricKdppOracle oracle(l, k);
+    expect_state_matches_from_scratch(oracle, rng, 24);
+  }
+}
+
+TEST(ConditionalStateFuzz, LowRankIncrementalMatchesFromScratch) {
+  RandomStream rng(424202);
+  for (int round = 0; round < 8; ++round) {
+    const std::size_t n = 8 + static_cast<std::size_t>(rng.uniform_index(9));
+    const std::size_t d = 4 + static_cast<std::size_t>(rng.uniform_index(4));
+    const std::size_t k =
+        1 + static_cast<std::size_t>(rng.uniform_index(d - 1));
+    const Matrix features = random_gaussian(n, d, rng);
+    const FeatureKdppOracle oracle(features, k);
+    expect_state_matches_from_scratch(oracle, rng, 24);
+  }
+}
+
+TEST(ConditionalStateFuzz, NonsymmetricIncrementalMatchesFromScratch) {
+  RandomStream rng(424203);
+  for (int round = 0; round < 4; ++round) {
+    const std::size_t n = 6 + static_cast<std::size_t>(rng.uniform_index(3));
+    const std::size_t k =
+        1 + static_cast<std::size_t>(rng.uniform_index(4));
+    const Matrix l = random_npsd(n, rng, 0.6);
+    const GeneralDppOracle oracle(l, k);
+    expect_state_matches_from_scratch(oracle, rng, 12);
+  }
+}
+
+TEST(ConditionalStateFuzz, QueryManyMatchesSerialLoopAcrossChunkLayouts) {
+  // query_many answers must be independent of how queries land on chunks
+  // (and therefore on the pool): compare a wide pooled batch against a
+  // per-query serial loop.
+  RandomStream rng(424204);
+  const Matrix l = random_psd(9, 9, rng, 1e-3);
+  const SymmetricKdppOracle oracle(l, 4);
+  std::vector<std::vector<int>> storage;
+  for (int q = 0; q < 40; ++q)
+    storage.push_back(random_subset(9, 1 + rng.uniform_index(4), rng));
+  const std::vector<std::span<const int>> queries(storage.begin(),
+                                                  storage.end());
+  std::vector<double> serial(queries.size());
+  oracle.query_many(queries, serial, ExecutionContext::serial());
+  ThreadPool pool(4);
+  const ExecutionContext ctx(&pool, nullptr);
+  std::vector<double> pooled(queries.size());
+  oracle.query_many(queries, pooled, ctx);
+  EXPECT_EQ(serial, pooled);
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    const double reference = oracle.log_joint_marginal(queries[q]);
+    if (reference == kNegInf) {
+      EXPECT_EQ(serial[q], kNegInf);
+    } else {
+      EXPECT_NEAR(serial[q], reference, 1e-10);
+    }
+  }
 }
 
 // ---- Subdivision wrapper (Definition 30 / Prop. 32) ----

@@ -2,6 +2,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <algorithm>
+#include <mutex>
+#include <utility>
 #include <numeric>
 
 #include "parallel/parallel_for.h"
@@ -45,6 +48,40 @@ TEST(ParallelFor, EmptyRangeIsNoop) {
   bool called = false;
   parallel_for(pool, 5, 5, [&](std::size_t) { called = true; });
   EXPECT_FALSE(called);
+}
+
+TEST(ParallelFor, GrainCoversFullRangeExactlyOnce) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(200);
+  parallel_for(pool, 0, 200, [&](std::size_t i) { ++hits[i]; },
+               /*grain=*/16);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, GrainAboveRangeRunsSerially) {
+  ThreadPool pool(4);
+  std::vector<int> hits(8, 0);  // non-atomic: single-threaded by grain
+  parallel_for(pool, 0, 8, [&](std::size_t i) { ++hits[i]; },
+               /*grain=*/64);
+  for (const int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ParallelForChunks, PartitionsRangeExactly) {
+  ThreadPool pool(3);
+  std::mutex mutex;
+  std::vector<std::pair<std::size_t, std::size_t>> chunks;
+  parallel_for_chunks(pool, 5, 105, [&](std::size_t lo, std::size_t hi) {
+    const std::scoped_lock lock(mutex);
+    chunks.emplace_back(lo, hi);
+  });
+  std::sort(chunks.begin(), chunks.end());
+  std::size_t cursor = 5;
+  for (const auto& [lo, hi] : chunks) {
+    EXPECT_EQ(lo, cursor);
+    EXPECT_LT(lo, hi);
+    cursor = hi;
+  }
+  EXPECT_EQ(cursor, 105u);
 }
 
 TEST(ParallelFor, MatchesSerialSum) {

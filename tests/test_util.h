@@ -2,6 +2,7 @@
 // total-variation distribution checks.
 #pragma once
 
+#include <cmath>
 #include <functional>
 #include <map>
 #include <vector>
@@ -55,6 +56,63 @@ inline double empirical_tv(const ExactDistribution& dist,
   for (std::size_t i = 0; i < counts.size(); ++i)
     tv += std::abs(counts[i] / total - dist.probs[i]);
   return 0.5 * tv;
+}
+
+/// Pearson chi-square goodness-of-fit of `samples` against the exact
+/// distribution, pooling cells with expected count below `min_expected`
+/// into one bucket (the standard validity fix for sparse cells). Returns
+/// the statistic and the degrees of freedom actually used.
+struct ChiSquareResult {
+  double statistic = 0.0;
+  double dof = 0.0;
+};
+
+inline ChiSquareResult chi_square_subsets(
+    const ExactDistribution& dist,
+    const std::vector<std::vector<int>>& samples,
+    double min_expected = 5.0) {
+  const SubsetIndexer indexer(dist.n, dist.k);
+  std::vector<double> counts(dist.probs.size(), 0.0);
+  for (const auto& s : samples) counts[indexer.rank(s)] += 1.0;
+  const double total = static_cast<double>(samples.size());
+  ChiSquareResult out;
+  double pooled_expected = 0.0;
+  double pooled_observed = 0.0;
+  std::size_t cells = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    const double expected = dist.probs[i] * total;
+    if (expected < min_expected) {
+      pooled_expected += expected;
+      pooled_observed += counts[i];
+      continue;
+    }
+    const double diff = counts[i] - expected;
+    out.statistic += diff * diff / expected;
+    ++cells;
+  }
+  // The pooled bucket always enters, but with its denominator floored at
+  // one expected count: a plain chi-square term for a tiny pooled
+  // expectation would inflate the false-alarm rate (heavy Poisson tail),
+  // while dropping the bucket would let a sampler emit mass on
+  // near-zero-probability outcomes unseen. The floor keeps both failure
+  // modes bounded: correct samplers add O(1) to the statistic, samplers
+  // leaking real mass onto impossible outcomes add O(observed^2).
+  if (pooled_expected > 0.0 || pooled_observed > 0.0) {
+    const double diff = pooled_observed - pooled_expected;
+    out.statistic += diff * diff / std::max(pooled_expected, 1.0);
+    ++cells;
+  }
+  out.dof = cells > 1 ? static_cast<double>(cells - 1) : 1.0;
+  return out;
+}
+
+/// Upper chi-square quantile via the Wilson–Hilferty cube approximation:
+/// the value exceeded with the probability of a standard normal exceeding
+/// `z` (z = 4 keeps the false-alarm rate of a seeded test near 3e-5).
+inline double chi_square_quantile(double dof, double z) {
+  const double h = 2.0 / (9.0 * dof);
+  const double c = 1.0 - h + z * std::sqrt(h);
+  return dof * c * c * c;
 }
 
 /// Generic TV between an exact map distribution and empirical counts
