@@ -62,6 +62,57 @@ void BM_SymmetricEigenFull(benchmark::State& state) {
 }
 BENCHMARK(BM_SymmetricEigenFull)->Arg(32)->Arg(64)->Arg(128);
 
+// The naive Gram orientation the blocked kernels replace: materialize the
+// transpose, then the generic row-major product.
+void BM_GramNaive(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  RandomStream rng(17);
+  const Matrix b = random_gaussian(n, 24, rng);
+  for (auto _ : state) {
+    Matrix g = b.transpose() * b;
+    benchmark::DoNotOptimize(g(0, 0));
+  }
+}
+BENCHMARK(BM_GramNaive)->Arg(256)->Arg(1024)->Arg(4096);
+
+// Blocked symmetric rank-k update: the Gram/Schur hot-path kernel
+// (sym_rank_k_update streams B's rows once, no transpose materialized).
+void BM_GramBlocked(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  RandomStream rng(17);
+  const Matrix b = random_gaussian(n, 24, rng);
+  for (auto _ : state) {
+    Matrix g(24, 24);
+    sym_rank_k_update(g, 1.0, b.flat().data(), n, 24, 24);
+    benchmark::DoNotOptimize(g(0, 0));
+  }
+}
+BENCHMARK(BM_GramBlocked)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_MultiplyTransposedBNaive(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  RandomStream rng(19);
+  const Matrix a = random_gaussian(n, 24, rng);
+  const Matrix b = random_gaussian(24, 24, rng);
+  for (auto _ : state) {
+    Matrix c = a * b.transpose();
+    benchmark::DoNotOptimize(c(0, 0));
+  }
+}
+BENCHMARK(BM_MultiplyTransposedBNaive)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_MultiplyTransposedB(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  RandomStream rng(19);
+  const Matrix a = random_gaussian(n, 24, rng);
+  const Matrix b = random_gaussian(24, 24, rng);
+  for (auto _ : state) {
+    Matrix c = multiply_transposed_b(a, b);
+    benchmark::DoNotOptimize(c(0, 0));
+  }
+}
+BENCHMARK(BM_MultiplyTransposedB)->Arg(256)->Arg(1024)->Arg(4096);
+
 void BM_MarginalKernel(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   const Matrix l = psd_fixture(n);

@@ -204,12 +204,12 @@ void thread_scaling() {
          JsonSeries::number("queries_per_wave",
                             point.diag.queries_per_wave(), 2),
          JsonSeries::text("identical", point.identical ? "yes" : "no"),
-         JsonSeries::text("regression", regression ? "yes" : "no")});
+         JsonSeries::boolean("regression", regression)});
   }
   table.print();
   if (any_regression)
     std::printf("! REGRESSION: a pool size reported speedup < 1.0\n");
-  json.write("BENCH_theorem10_threads.json");
+  json.write(bench_out_path("BENCH_theorem10_threads.json"));
 }
 
 }  // namespace

@@ -173,11 +173,11 @@ int main() {
          JsonSeries::number("speedup", speedup, 1),
          JsonSeries::number("rounds", rounds),
          JsonSeries::text("identical", point.identical ? "yes" : "no"),
-         JsonSeries::text("regression", regression ? "yes" : "no")});
+         JsonSeries::boolean("regression", regression)});
   }
   table4.print();
   if (any_regression)
     std::printf("! REGRESSION: a pool size reported speedup < 1.0\n");
-  json.write("BENCH_theorem41_threads.json");
+  json.write(bench_out_path("BENCH_theorem41_threads.json"));
   return 0;
 }

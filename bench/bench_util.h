@@ -7,6 +7,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <memory>
 #include <string>
@@ -68,6 +69,18 @@ inline std::string fmt(double v, int precision = 3) {
 }
 
 inline std::string fmt_int(std::size_t v) { return std::to_string(v); }
+
+/// Resolves a bench artifact name to its path under `bench-out/`
+/// (creating the directory on first use). Every emitted `BENCH_*.json`
+/// goes through this: artifacts land in a gitignored output directory —
+/// never in the repo root, where a stale copy could be committed — and CI
+/// uploads `bench-out/` wholesale.
+inline std::string bench_out_path(const std::string& name) {
+  std::error_code ec;
+  std::filesystem::create_directories("bench-out", ec);
+  if (ec) return name;  // fall back to the cwd, still reported by write()
+  return (std::filesystem::path("bench-out") / name).string();
+}
 
 /// Pool sizes for wall-clock scaling sweeps: {1, 2, 4, hardware}, deduped
 /// ascending. Pools wider than the hardware still run (the determinism
@@ -179,6 +192,11 @@ class JsonSeries {
   }
   static Field number(std::string key, std::size_t value) {
     return {std::move(key), fmt_int(value)};
+  }
+  /// Emitted as a bare JSON boolean — `"regression": true` is what the CI
+  /// gate greps for, so the flag must not be quoted.
+  static Field boolean(std::string key, bool value) {
+    return {std::move(key), value ? "true" : "false"};
   }
   static Field text(std::string key, const std::string& value) {
     std::string quoted = "\"";

@@ -10,6 +10,8 @@
 #pragma once
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 #include <memory>
 #include <span>
 #include <string>
@@ -17,6 +19,7 @@
 
 #include "parallel/execution.h"
 #include "support/error.h"
+#include "support/random.h"
 
 namespace pardpp {
 
@@ -26,6 +29,16 @@ namespace pardpp {
 /// deleting the conditioned elements and preserving the order of the
 /// rest).
 class CountingOracle;
+class CommittedOracle;
+
+/// One exact draw from a conditional's singleton marginals.
+struct MarginalDraw {
+  int index = -1;  ///< current-conditional index, distributed as p_i / k
+  /// log P[index ∈ S] when the drawing family knows it cheaply (the
+  /// default categorical protocol does); NaN otherwise (the spectral
+  /// two-stage protocol never materializes the marginal vector).
+  double log_marginal = std::numeric_limits<double>::quiet_NaN();
+};
 
 /// Wave-scoped evaluator for a batch of counting queries against one
 /// conditional distribution (DESIGN.md §2 convention 6).
@@ -70,6 +83,24 @@ class CountingOracle {
   /// Singleton marginals P[i ∈ S] for every ground element; the entries
   /// sum to sample_size().
   [[nodiscard]] virtual std::vector<double> marginals() const = 0;
+
+  /// Draws one element with probability p_i / k — the sequential
+  /// reduction's per-round step. The default materializes `marginals()`
+  /// and draws categorically; spectral families override with the exact
+  /// two-stage mixture draw (eigenmode ~ ESP weight, then item ~ squared
+  /// eigenvector entry), which never assembles the marginal vector. The
+  /// draw *protocol* — how many variates are consumed, from which
+  /// distributions — is a per-family determinism invariant (DESIGN.md §2
+  /// convention 7): every implementation of one family's conditional must
+  /// consume the stream identically, so the commit path and the
+  /// condition() reference path replay the same sample from one seed.
+  [[nodiscard]] virtual MarginalDraw draw_marginal(RandomStream& rng) const {
+    const std::vector<double> p = marginals();
+    MarginalDraw draw;
+    draw.index = static_cast<int>(rng.categorical(p));
+    draw.log_marginal = std::log(p[static_cast<std::size_t>(draw.index)]);
+    return draw;
+  }
 
   /// The conditional distribution mu(· | T ⊆ S), over the ground set with
   /// T removed. Throws if P[T ⊆ S] = 0.
@@ -118,6 +149,62 @@ class CountingOracle {
       for (std::size_t q = lo; q < hi; ++q) out[q] = state->log_joint(ts[q]);
     });
   }
+
+  /// Creates the run-scoped commit-path state (DESIGN.md §2 convention
+  /// 7): a CommittedOracle answering queries against a conditional prefix
+  /// that *grows in place* via `commit()`, instead of materializing a
+  /// fresh conditioned oracle per accepted round. The default wraps the
+  /// `condition()` chain — behaviourally identical to the pre-commit
+  /// samplers, and the correctness reference the determinantal overrides
+  /// are fuzzed against. Like make_conditional_state, callers that will
+  /// run the returned state while other threads query this oracle must
+  /// call prepare_concurrent() first.
+  [[nodiscard]] virtual std::unique_ptr<CommittedOracle> make_committed()
+      const;
+};
+
+/// A counting oracle over a *mutable* conditional prefix — the run-scoped
+/// state of the sampler commit path (DESIGN.md §2 convention 7). All
+/// CountingOracle queries refer to the current conditional (ground set
+/// re-indexed by delete + compact, exactly like `condition()`);
+/// `commit()` advances the prefix in place, absorbing the accepted
+/// trial's work instead of rebuilding preprocessing from scratch, and
+/// `reset()` rewinds to the base distribution so one state (and its
+/// scratch) serves many draws. Implementations must keep the conditional
+/// distribution — and the per-family draw/query protocols — identical to
+/// the condition() chain's, so a fixed seed replays the same sample
+/// through either path.
+class CommittedOracle : public CountingOracle {
+ public:
+  /// Absorbs the accepted batch (current-conditional indices, distinct,
+  /// P[batch ⊆ S] > 0): this oracle becomes the conditional given the
+  /// batch. `log_joint` optionally passes the accepted trial's
+  /// already-computed counting answer log P[batch ⊆ S] (NaN = unknown);
+  /// families whose partition function is otherwise a full preprocessing
+  /// sweep (the general/charpoly family) fold it into their cached
+  /// normalization instead of recomputing it.
+  virtual void commit(
+      std::span<const int> batch,
+      double log_joint = std::numeric_limits<double>::quiet_NaN()) = 0;
+
+  /// Rewinds to the base distribution (committed prefix empty), keeping
+  /// allocated scratch. The hook SamplerSession uses to amortize one
+  /// state across many draws.
+  virtual void reset() = 0;
+
+  /// Number of elements committed since construction / the last reset.
+  [[nodiscard]] virtual std::size_t committed_count() const = 0;
+
+  /// log P[T ⊆ S] of the *base* distribution for the committed prefix T —
+  /// the mass of the run so far, maintained incrementally by families
+  /// that carry a committed factorization (the symmetric family's
+  /// base-prefix Cholesky). NaN when the family does not track it (the
+  /// default) or the tracking was disabled by a numerically borderline
+  /// block; tests compare it against the base oracle's from-scratch
+  /// log_joint_marginal.
+  [[nodiscard]] virtual double log_committed_mass() const {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
 };
 
 namespace detail {
@@ -136,11 +223,89 @@ class DelegatingConditionalState final : public ConditionalState {
   const CountingOracle& oracle_;
 };
 
+/// CommittedOracle implemented on the `condition()` chain: every commit
+/// materializes a fresh conditioned oracle, every reset a fresh clone of
+/// the base. This is both the default for oracle families without an
+/// incremental commit and the *reference path* the incremental overrides
+/// are validated (and benchmarked) against — it pays the full per-round
+/// preprocessing the commit path exists to avoid.
+class ConditioningCommittedOracle final : public CommittedOracle {
+ public:
+  explicit ConditioningCommittedOracle(const CountingOracle& base)
+      : base_(&base), current_(base.clone()) {}
+
+  void commit(std::span<const int> batch, double /*log_joint*/) override {
+    current_ = current_->condition(batch);
+    committed_ += batch.size();
+  }
+  void reset() override {
+    current_ = base_->clone();
+    committed_ = 0;
+  }
+  [[nodiscard]] std::size_t committed_count() const override {
+    return committed_;
+  }
+
+  [[nodiscard]] std::size_t ground_size() const override {
+    return current_->ground_size();
+  }
+  [[nodiscard]] std::size_t sample_size() const override {
+    return current_->sample_size();
+  }
+  [[nodiscard]] double log_joint_marginal(
+      std::span<const int> t) const override {
+    return current_->log_joint_marginal(t);
+  }
+  [[nodiscard]] std::vector<double> marginals() const override {
+    return current_->marginals();
+  }
+  [[nodiscard]] MarginalDraw draw_marginal(RandomStream& rng) const override {
+    return current_->draw_marginal(rng);
+  }
+  [[nodiscard]] std::unique_ptr<CountingOracle> condition(
+      std::span<const int> t) const override {
+    return current_->condition(t);
+  }
+  [[nodiscard]] std::unique_ptr<CountingOracle> clone() const override {
+    return current_->clone();
+  }
+  [[nodiscard]] std::string name() const override { return current_->name(); }
+  void prepare_concurrent() const override { current_->prepare_concurrent(); }
+  [[nodiscard]] std::unique_ptr<ConditionalState> make_conditional_state()
+      const override {
+    return current_->make_conditional_state();
+  }
+  void query_many(std::span<const std::span<const int>> ts,
+                  std::span<double> out,
+                  const ExecutionContext& ctx) const override {
+    current_->query_many(ts, out, ctx);
+  }
+
+ private:
+  const CountingOracle* base_;
+  std::unique_ptr<CountingOracle> current_;
+  std::size_t committed_ = 0;
+};
+
 }  // namespace detail
 
 inline std::unique_ptr<ConditionalState>
 CountingOracle::make_conditional_state() const {
   return std::make_unique<detail::DelegatingConditionalState>(*this);
+}
+
+inline std::unique_ptr<CommittedOracle> CountingOracle::make_committed()
+    const {
+  return std::make_unique<detail::ConditioningCommittedOracle>(*this);
+}
+
+/// The condition()-chain reference path for any oracle family, regardless
+/// of whether the family overrides make_committed(). The throughput bench
+/// and the commit-vs-reference tests drive both paths from one seed and
+/// require identical samples.
+[[nodiscard]] inline std::unique_ptr<CommittedOracle> make_condition_reference(
+    const CountingOracle& base) {
+  return std::make_unique<detail::ConditioningCommittedOracle>(base);
 }
 
 /// Maps indices of a repeatedly conditioned ground set back to original

@@ -1,12 +1,58 @@
 #include "dpp/feature_oracle.h"
 
 #include <cmath>
+#include <limits>
+#include <utility>
 
 #include "linalg/cholesky.h"
 #include "linalg/symmetric_eigen.h"
 #include "support/logsum.h"
 
 namespace pardpp {
+
+namespace {
+
+// From-scratch joint marginal of the k-DPP with feature matrix `b` and
+// partition log_z — the reference arithmetic shared by the base oracle
+// and the commit-path state.
+double feature_log_joint_scratch(const Matrix& b, std::size_t k,
+                                 double log_z, std::span<const int> t) {
+  const std::size_t tsize = t.size();
+  if (tsize > k) return kNegInf;
+  if (tsize == 0) return 0.0;
+  // det(L_T) = det(Gram of the T rows of B).
+  Matrix gram_t(tsize, tsize);
+  for (std::size_t a = 0; a < tsize; ++a) {
+    for (std::size_t c = a; c < tsize; ++c) {
+      double acc = 0.0;
+      for (std::size_t x = 0; x < b.cols(); ++x)
+        acc += b(static_cast<std::size_t>(t[a]), x) *
+               b(static_cast<std::size_t>(t[c]), x);
+      gram_t(a, c) = acc;
+      gram_t(c, a) = acc;
+    }
+  }
+  const auto chol = cholesky(gram_t);
+  if (!chol.has_value()) return kNegInf;
+  const double log_det_t = chol->log_det();
+  if (tsize == k) return log_det_t - log_z;
+  // Conditioned features; spectrum from the reduced Gram matrix.
+  Matrix conditioned;
+  try {
+    conditioned = condition_features(b, t);
+  } catch (const NumericalError&) {
+    return kNegInf;
+  }
+  const Matrix gram = conditioned.transpose() * conditioned;
+  auto lambda = symmetric_eigenvalues(gram);
+  clamp_spectrum_to_rank(lambda);
+  const auto log_e = log_esp(lambda, k - tsize);
+  const double tail = log_e[k - tsize];
+  if (tail == kNegInf) return kNegInf;
+  return log_det_t + tail - log_z;
+}
+
+}  // namespace
 
 FeatureKdppOracle::FeatureKdppOracle(Matrix features, std::size_t k)
     : features_(std::move(features)), k_(k) {
@@ -28,7 +74,12 @@ const LogEspTable& FeatureKdppOracle::esp() const {
 }
 
 const Matrix& FeatureKdppOracle::gram() const {
-  if (!gram_.has_value()) gram_ = features_.transpose() * features_;
+  if (!gram_.has_value()) {
+    Matrix g(features_.cols(), features_.cols());
+    sym_rank_k_update(g, 1.0, features_.flat().data(), features_.rows(),
+                      features_.cols(), features_.cols());
+    gram_ = std::move(g);
+  }
   return *gram_;
 }
 
@@ -46,11 +97,8 @@ const std::vector<double>& FeatureKdppOracle::marginal_cache() const {
       check_numeric(log_z != kNegInf,
                     "FeatureKdppOracle: partition function zero");
       const std::size_t modes = eig.values.size();
-      std::vector<double> w(modes, 0.0);
-      for (std::size_t m = 0; m < modes; ++m) {
-        w[m] = std::exp(std::log(eig.values[m]) +
-                        table.log_e_without(m, k_ - 1) - log_z);
-      }
+      std::vector<double> w;
+      esp_mode_weights(eig.values, table, k_, w);
       for (std::size_t i = 0; i < n; ++i) {
         double acc = 0.0;
         for (std::size_t m = 0; m < modes; ++m) {
@@ -66,13 +114,8 @@ const std::vector<double>& FeatureKdppOracle::marginal_cache() const {
 }
 
 const std::vector<double>& FeatureKdppOracle::log_marginal_cache() const {
-  if (!log_marginals_.has_value()) {
-    const auto& p = marginal_cache();
-    std::vector<double> lp(p.size(), kNegInf);
-    for (std::size_t i = 0; i < p.size(); ++i)
-      if (p[i] > 0.0) lp[i] = std::log(p[i]);
-    log_marginals_ = std::move(lp);
-  }
+  if (!log_marginals_.has_value())
+    log_marginals_ = log_probabilities(marginal_cache());
   return *log_marginals_;
 }
 
@@ -81,64 +124,54 @@ std::vector<double> FeatureKdppOracle::marginals() const {
 }
 
 double FeatureKdppOracle::log_joint_marginal(std::span<const int> t) const {
-  const std::size_t tsize = t.size();
-  if (tsize > k_) return kNegInf;
-  if (tsize == 0) return 0.0;
-  // det(L_T) = det(Gram of the T rows of B).
-  Matrix gram_t(tsize, tsize);
-  for (std::size_t a = 0; a < tsize; ++a) {
-    for (std::size_t b = a; b < tsize; ++b) {
-      double acc = 0.0;
-      for (std::size_t c = 0; c < features_.cols(); ++c)
-        acc += features_(static_cast<std::size_t>(t[a]), c) *
-               features_(static_cast<std::size_t>(t[b]), c);
-      gram_t(a, b) = acc;
-      gram_t(b, a) = acc;
-    }
+  if (t.size() > k_) return kNegInf;
+  if (t.empty()) return 0.0;
+  return feature_log_joint_scratch(features_, k_, esp().log_e(k_), t);
+}
+
+MarginalDraw FeatureKdppOracle::draw_marginal(RandomStream& rng) const {
+  const auto& eig = eigen();
+  const auto& table = esp();
+  check_numeric(table.log_e(k_) != kNegInf,
+                "draw_marginal: partition function is zero");
+  std::vector<double> w;
+  esp_mode_weights(eig.values, table, k_, w);
+  const std::size_t mode = rng.categorical(w);
+  const std::size_t n = ground_size();
+  std::vector<double> col(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double v = eig.vectors(i, mode);
+    col[i] = v * v;
   }
-  const auto chol = cholesky(gram_t);
-  if (!chol.has_value()) return kNegInf;
-  const double log_det_t = chol->log_det();
-  const double log_z = esp().log_e(k_);
-  if (tsize == k_) return log_det_t - log_z;
-  // Conditioned features; spectrum from the reduced Gram matrix.
-  Matrix conditioned;
-  try {
-    conditioned = condition_features(features_, t);
-  } catch (const NumericalError&) {
-    return kNegInf;
-  }
-  const Matrix gram = conditioned.transpose() * conditioned;
-  auto lambda = symmetric_eigenvalues(gram);
-  clamp_spectrum_to_rank(lambda);
-  const auto log_e = log_esp(lambda, k_ - tsize);
-  const double tail = log_e[k_ - tsize];
-  if (tail == kNegInf) return kNegInf;
-  return log_det_t + tail - log_z;
+  MarginalDraw draw;
+  draw.index = static_cast<int>(rng.categorical(col));
+  return draw;
 }
 
 // Wave-scoped incremental query evaluator: all conditioning happens on the
-// cached d x d Gram, so query cost is independent of the ground size n.
-// With W = R^{-1} B_T (R the incrementally grown Cholesky factor of
-// Gram(B_T)), the projection onto span(B_T rows) is P = W^T W and the
-// conditioned Gram is (I - P) G (I - P).
+// d x d Gram of the view it was created from — the base oracle's cached
+// Gram, or the commit-path state's projected Gram — so query cost is
+// independent of the ground size n. With W = R^{-1} B_T (R the
+// incrementally grown Cholesky factor of Gram(B_T)), the projection onto
+// span(B_T rows) is P = W^T W and the conditioned Gram is (I - P) G (I - P).
 class FeatureKdppOracle::State final : public ConditionalState {
  public:
-  explicit State(const FeatureKdppOracle& oracle)
-      : o_(oracle), chol_(oracle.sample_size()) {}
+  State(const Matrix& features, const Matrix& gram, std::size_t k,
+        double log_z, const std::vector<double>* log_marginals)
+      : b_(features), g_(gram), k_(k), log_z_(log_z),
+        log_marginals_(log_marginals), chol_(k) {}
 
   [[nodiscard]] double log_joint(std::span<const int> t) override {
     const std::size_t tsize = t.size();
-    const std::size_t n = o_.ground_size();
-    const std::size_t d = o_.features_.cols();
-    if (tsize > o_.k_) return kNegInf;
+    const std::size_t n = b_.rows();
+    const std::size_t d = b_.cols();
+    if (tsize > k_) return kNegInf;
     if (tsize == 0) return 0.0;
     for (const int i : t)
       check_arg(i >= 0 && static_cast<std::size_t>(i) < n,
                 "log_joint: index out of range");
-    const double log_z = o_.esp().log_e(o_.k_);
-    if (tsize == 1 && log_z != kNegInf)
-      return o_.log_marginal_cache()[static_cast<std::size_t>(t[0])];
+    if (tsize == 1 && log_z_ != kNegInf && log_marginals_ != nullptr)
+      return (*log_marginals_)[static_cast<std::size_t>(t[0])];
     // Incremental Cholesky of Gram(B_T) = L_T; W starts as the raw T rows
     // and is forward-substituted into R^{-1} B_T below. The threshold is
     // seeded with the block's largest diagonal (the largest T row norm)
@@ -147,7 +180,7 @@ class FeatureKdppOracle::State final : public ConditionalState {
     norms_.resize(tsize);
     double max_diag = 0.0;
     for (std::size_t r = 0; r < tsize; ++r) {
-      const auto br = o_.features_.row(static_cast<std::size_t>(t[r]));
+      const auto br = b_.row(static_cast<std::size_t>(t[r]));
       double acc = 0.0;
       for (std::size_t x = 0; x < d; ++x) acc += br[x] * br[x];
       norms_[r] = acc;
@@ -157,9 +190,9 @@ class FeatureKdppOracle::State final : public ConditionalState {
     row_.resize(tsize);
     w_.resize(tsize * d);
     for (std::size_t r = 0; r < tsize; ++r) {
-      const auto br = o_.features_.row(static_cast<std::size_t>(t[r]));
+      const auto br = b_.row(static_cast<std::size_t>(t[r]));
       for (std::size_t c = 0; c < r; ++c) {
-        const auto bc = o_.features_.row(static_cast<std::size_t>(t[c]));
+        const auto bc = b_.row(static_cast<std::size_t>(t[c]));
         double acc = 0.0;
         for (std::size_t x = 0; x < d; ++x) acc += br[x] * bc[x];
         row_[c] = acc;
@@ -170,17 +203,16 @@ class FeatureKdppOracle::State final : public ConditionalState {
       for (std::size_t x = 0; x < d; ++x) w_[r * d + x] = br[x];
     }
     const double log_det_t = chol_.log_det();
-    if (tsize == o_.k_) return log_det_t - log_z;
+    if (tsize == k_) return log_det_t - log_z_;
     chol_.forward_solve_rows(w_.data(), d, d);
     // A = W G (t x d), then conditioned = G - W^T A - A^T W + W^T (A W^T) W,
     // assembled as G - W^T D - A^T W with D = A - (A W^T) W.
-    const Matrix& g = o_.gram();
     a_.assign(tsize * d, 0.0);
     for (std::size_t r = 0; r < tsize; ++r) {
       for (std::size_t c = 0; c < d; ++c) {
         const double w = w_[r * d + c];
         if (w == 0.0) continue;
-        const double* grow = &g(c, 0);
+        const double* grow = &g_(c, 0);
         double* arow = a_.data() + r * d;
         for (std::size_t j = 0; j < d; ++j) arow[j] += w * grow[j];
       }
@@ -205,7 +237,7 @@ class FeatureKdppOracle::State final : public ConditionalState {
       reduced_ = Matrix(d, d);
     for (std::size_t i = 0; i < d; ++i) {
       for (std::size_t j = i; j < d; ++j) {
-        double acc = g(i, j);
+        double acc = g_(i, j);
         for (std::size_t r = 0; r < tsize; ++r)
           acc -= w_[r * d + i] * d_[r * d + j] + a_[r * d + i] * w_[r * d + j];
         reduced_(i, j) = acc;
@@ -214,14 +246,18 @@ class FeatureKdppOracle::State final : public ConditionalState {
     }
     lambda_ = symmetric_eigenvalues(reduced_);
     clamp_spectrum_to_rank(lambda_);
-    const auto log_e = log_esp(lambda_, o_.k_ - tsize);
-    const double tail = log_e[o_.k_ - tsize];
+    const auto log_e = log_esp(lambda_, k_ - tsize);
+    const double tail = log_e[k_ - tsize];
     if (tail == kNegInf) return kNegInf;
-    return log_det_t + tail - log_z;
+    return log_det_t + tail - log_z_;
   }
 
  private:
-  const FeatureKdppOracle& o_;
+  const Matrix& b_;
+  const Matrix& g_;
+  std::size_t k_;
+  double log_z_;
+  const std::vector<double>* log_marginals_;
   IncrementalCholesky chol_;
   std::vector<double> norms_;  // |B_T row|^2, the Gram block's diagonal
   std::vector<double> row_;
@@ -235,7 +271,286 @@ class FeatureKdppOracle::State final : public ConditionalState {
 
 std::unique_ptr<ConditionalState> FeatureKdppOracle::make_conditional_state()
     const {
-  return std::make_unique<State>(*this);
+  const double log_z = esp().log_e(k_);
+  const std::vector<double>* lm =
+      log_z != kNegInf ? &log_marginal_cache() : nullptr;
+  return std::make_unique<State>(features_, gram(), k_, log_z, lm);
+}
+
+// ---- the commit path (DESIGN.md §2 convention 7) ----
+//
+// Everything the condition() chain re-materializes per accepted round —
+// the (d - t)-column conditioned feature matrix, its n d^2 Gram, the
+// spectral map — is maintained in place instead: the accepted rows are
+// Gram–Schmidt'd into unit directions (they are already orthogonal to all
+// previously committed directions, because the live features stay
+// projected), each direction updates the cached d x d Gram by a rank-2
+// projection and the live feature rows by a rank-1 projection, and only
+// the d x d eigendecomposition is recomputed per round. Per-round cost
+// drops from O(n d^2) feature/Gram rebuilds to O(n d t + d^3).
+class FeatureKdppOracle::Committed final : public CommittedOracle {
+ public:
+  explicit Committed(const FeatureKdppOracle& base)
+      : base_(&base), k_cur_(base.k_) {}
+
+  void commit(std::span<const int> batch, double /*log_joint*/) override {
+    const std::size_t tsize = batch.size();
+    if (tsize == 0) return;
+    check_arg(tsize <= k_cur_, "commit: |batch| exceeds k");
+    const std::size_t d = base_->features_.cols();
+    if (rounds_ == 0) {
+      bt_ = base_->features_;  // materialized once per run, then projected
+      gram_ = base_->gram();
+    }
+    const std::size_t n = bt_.rows();
+    for (const int i : batch)
+      check_arg(i >= 0 && static_cast<std::size_t>(i) < n,
+                "commit: index out of range");
+    // Orthonormal directions spanning the accepted rows — the same
+    // Gram-Schmidt (and the same null-event threshold) as
+    // condition_features, via the shared helper. The batch rows are
+    // already orthogonal to all previously committed directions, so
+    // orthogonalizing within the batch suffices. Throws before any state
+    // mutates, so a caught null-event commit leaves the state intact.
+    orthonormalize_feature_rows(bt_, batch, q_);
+    // Project the live rows and the Gram by each direction: rank-1 on the
+    // features, rank-2 on the Gram. Committed rows land exactly in the
+    // span being removed, so the projected Gram equals the Gram of the
+    // projected *remaining* rows.
+    for (std::size_t j = 0; j < tsize; ++j) {
+      const double* qj = q_.data() + j * d;
+      for (std::size_t i = 0; i < n; ++i) {
+        double* row = bt_.row(i).data();
+        double dot = 0.0;
+        for (std::size_t c = 0; c < d; ++c) dot += row[c] * qj[c];
+        if (dot == 0.0) continue;
+        for (std::size_t c = 0; c < d; ++c) row[c] -= dot * qj[c];
+      }
+      gq_.assign(d, 0.0);
+      for (std::size_t r = 0; r < d; ++r) {
+        const double* grow = gram_.row(r).data();
+        double acc = 0.0;
+        for (std::size_t c = 0; c < d; ++c) acc += grow[c] * qj[c];
+        gq_[r] = acc;
+      }
+      double qgq = 0.0;
+      for (std::size_t c = 0; c < d; ++c) qgq += qj[c] * gq_[c];
+      for (std::size_t r = 0; r < d; ++r) {
+        double* grow = gram_.row(r).data();
+        const double vr = gq_[r];
+        const double qr = qj[r];
+        for (std::size_t c = 0; c < d; ++c)
+          grow[c] += qgq * qr * qj[c] - qr * gq_[c] - vr * qj[c];
+      }
+    }
+    // Delete the committed rows (delete + compact, order preserved).
+    mask_.assign(n, 0);
+    for (const int i : batch) mask_[static_cast<std::size_t>(i)] = 1;
+    Matrix next(n - tsize, d);
+    std::size_t w = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (mask_[i] != 0) continue;
+      const auto src = bt_.row(i);
+      double* dst = next.row(w).data();
+      for (std::size_t c = 0; c < d; ++c) dst[c] = src[c];
+      ++w;
+    }
+    bt_ = std::move(next);
+    k_cur_ -= tsize;
+    committed_ += tsize;
+    ++rounds_;
+    refresh_spectrum();
+  }
+
+  void reset() override {
+    k_cur_ = base_->k_;
+    committed_ = 0;
+    rounds_ = 0;
+    values_.clear();
+    esp_.reset();
+    marginals_.reset();
+    log_marginals_.reset();
+  }
+
+  [[nodiscard]] std::size_t committed_count() const override {
+    return committed_;
+  }
+
+  [[nodiscard]] std::size_t ground_size() const override {
+    return rounds_ == 0 ? base_->ground_size() : bt_.rows();
+  }
+  [[nodiscard]] std::size_t sample_size() const override { return k_cur_; }
+
+  [[nodiscard]] double log_joint_marginal(
+      std::span<const int> t) const override {
+    if (t.size() > k_cur_) return kNegInf;
+    if (t.empty()) return 0.0;
+    return feature_log_joint_scratch(features(), k_cur_, log_partition(), t);
+  }
+
+  [[nodiscard]] std::vector<double> marginals() const override {
+    return marginal_cache();
+  }
+
+  [[nodiscard]] MarginalDraw draw_marginal(RandomStream& rng) const override {
+    if (rounds_ == 0) return base_->draw_marginal(rng);
+    check_numeric(log_partition() != kNegInf,
+                  "draw_marginal: partition function is zero");
+    esp_mode_weights(values_, *esp_, k_cur_, w_scratch_);
+    const std::size_t mode = rng.categorical(w_scratch_);
+    // Item ~ (b~_i . u_mode)^2: one O(n d) matvec against the projected
+    // rows — the constant-size inner loop the two-stage protocol buys.
+    const std::size_t n = bt_.rows();
+    const std::size_t d = bt_.cols();
+    const double* u = umodes_.row(mode).data();
+    col_scratch_.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const double* row = bt_.row(i).data();
+      double acc = 0.0;
+      for (std::size_t c = 0; c < d; ++c) acc += row[c] * u[c];
+      col_scratch_[i] = acc * acc;
+    }
+    MarginalDraw draw;
+    draw.index = static_cast<int>(rng.categorical(col_scratch_));
+    return draw;
+  }
+
+  [[nodiscard]] std::unique_ptr<CountingOracle> condition(
+      std::span<const int> t) const override {
+    check_arg(t.size() <= k_cur_, "condition: |T| exceeds k");
+    return std::make_unique<FeatureKdppOracle>(
+        condition_features(features(), t), k_cur_ - t.size());
+  }
+
+  [[nodiscard]] std::unique_ptr<CountingOracle> clone() const override {
+    return std::make_unique<FeatureKdppOracle>(features(), k_cur_);
+  }
+
+  [[nodiscard]] std::string name() const override { return base_->name(); }
+
+  void prepare_concurrent() const override {
+    if (rounds_ == 0) {
+      base_->prepare_concurrent();
+      return;
+    }
+    if (log_partition() != kNegInf) (void)log_marginal_cache();
+  }
+
+  [[nodiscard]] std::unique_ptr<ConditionalState> make_conditional_state()
+      const override {
+    if (rounds_ == 0) return base_->make_conditional_state();
+    const double log_z = log_partition();
+    const std::vector<double>* lm =
+        log_z != kNegInf ? &log_marginal_cache() : nullptr;
+    return std::make_unique<State>(bt_, gram_, k_cur_, log_z, lm);
+  }
+
+ private:
+  [[nodiscard]] const Matrix& features() const {
+    return rounds_ == 0 ? base_->features_ : bt_;
+  }
+  [[nodiscard]] double log_partition() const {
+    return rounds_ == 0 ? base_->esp().log_e(k_cur_) : esp_->log_e(k_cur_);
+  }
+
+  void refresh_spectrum() {
+    marginals_.reset();
+    log_marginals_.reset();
+    values_.clear();
+    if (k_cur_ == 0) {
+      esp_ = LogEspTable(values_, 0);
+      umodes_ = Matrix();
+      return;
+    }
+    // Nonzero spectrum of the projected Gram, mirroring
+    // eigen_from_features' rank floor; the t committed directions show up
+    // as (near-)zero modes and are dropped.
+    const auto eig = symmetric_eigen(gram_);
+    double top = 0.0;
+    for (const double v : eig.values) top = std::max(top, v);
+    const double floor = std::max(top * 1e-12, 1e-300);
+    std::vector<std::size_t> keep;
+    for (std::size_t m = 0; m < eig.values.size(); ++m) {
+      if (eig.values[m] > floor) {
+        keep.push_back(m);
+        values_.push_back(eig.values[m]);
+      }
+    }
+    const std::size_t d = gram_.rows();
+    umodes_ = Matrix(keep.size(), d);  // row m = d-space eigenvector
+    for (std::size_t m = 0; m < keep.size(); ++m)
+      for (std::size_t c = 0; c < d; ++c)
+        umodes_(m, c) = eig.vectors(c, keep[m]);
+    esp_ = LogEspTable(values_, k_cur_);
+  }
+
+  [[nodiscard]] const std::vector<double>& marginal_cache() const {
+    if (rounds_ == 0) return base_->marginal_cache();
+    if (!marginals_.has_value()) {
+      const std::size_t n = bt_.rows();
+      std::vector<double> p(n, 0.0);
+      if (k_cur_ != 0) {
+        check_numeric(values_.size() >= k_cur_,
+                      "FeatureKdppOracle: rank below k — partition "
+                      "function zero");
+        const double log_z = esp_->log_e(k_cur_);
+        check_numeric(log_z != kNegInf,
+                      "FeatureKdppOracle: partition function zero");
+        const std::size_t modes = values_.size();
+        const std::size_t d = bt_.cols();
+        std::vector<double> w;
+        esp_mode_weights(values_, *esp_, k_cur_, w);
+        // p_i = |H^T b~_i|^2 with h_m = u_m sqrt(w_m / lambda_m): one
+        // blocked (n x d) x (d x modes) pass instead of mapping the full
+        // eigenbasis into item space.
+        Matrix h(modes, d);
+        for (std::size_t m = 0; m < modes; ++m) {
+          const double scale = std::sqrt(w[m] / values_[m]);
+          const double* u = umodes_.row(m).data();
+          double* hrow = h.row(m).data();
+          for (std::size_t c = 0; c < d; ++c) hrow[c] = scale * u[c];
+        }
+        const Matrix s = multiply_transposed_b(bt_, h);
+        for (std::size_t i = 0; i < n; ++i) {
+          const double* srow = s.row(i).data();
+          double acc = 0.0;
+          for (std::size_t m = 0; m < modes; ++m) acc += srow[m] * srow[m];
+          p[i] = std::min(acc, 1.0);
+        }
+      }
+      marginals_ = std::move(p);
+    }
+    return *marginals_;
+  }
+
+  [[nodiscard]] const std::vector<double>& log_marginal_cache() const {
+    if (rounds_ == 0) return base_->log_marginal_cache();
+    if (!log_marginals_.has_value())
+      log_marginals_ = log_probabilities(marginal_cache());
+    return *log_marginals_;
+  }
+
+  const FeatureKdppOracle* base_;
+  std::size_t k_cur_;
+  std::size_t committed_ = 0;
+  std::size_t rounds_ = 0;
+  Matrix bt_;                   // projected live rows (valid after round 1)
+  Matrix gram_;                 // projected d x d Gram
+  std::vector<double> values_;  // nonzero spectrum, ascending
+  Matrix umodes_;               // modes x d (rows are d-space eigenvectors)
+  std::optional<LogEspTable> esp_;
+  mutable std::optional<std::vector<double>> marginals_;
+  mutable std::optional<std::vector<double>> log_marginals_;
+  // reused scratch
+  std::vector<double> q_;
+  std::vector<double> gq_;
+  std::vector<char> mask_;
+  mutable std::vector<double> w_scratch_;
+  mutable std::vector<double> col_scratch_;
+};
+
+std::unique_ptr<CommittedOracle> FeatureKdppOracle::make_committed() const {
+  return std::make_unique<Committed>(*this);
 }
 
 std::unique_ptr<CountingOracle> FeatureKdppOracle::condition(

@@ -44,11 +44,22 @@ class FeatureKdppOracle final : public CountingOracle {
   void prepare_concurrent() const override;
   [[nodiscard]] std::unique_ptr<ConditionalState> make_conditional_state()
       const override;
+  /// Exact two-stage mixture draw (eigenmode ~ ESP weight, then item ~
+  /// squared eigenvector entry): one O(d^3) mode table and one O(n d)
+  /// matvec — the marginal vector is never assembled.
+  [[nodiscard]] MarginalDraw draw_marginal(RandomStream& rng) const override;
+  /// Commit-path state: conditioning folded into the cached d x d Gram by
+  /// rank-2 projection updates and into the item features by rank-1
+  /// projections — no per-round feature re-materialization, no per-round
+  /// O(n d^2) Gram rebuild (DESIGN.md §2 convention 7).
+  [[nodiscard]] std::unique_ptr<CommittedOracle> make_committed()
+      const override;
 
   [[nodiscard]] const Matrix& features() const noexcept { return features_; }
 
  private:
   class State;
+  class Committed;
 
   const LowRankEigen& eigen() const;
   const LogEspTable& esp() const;

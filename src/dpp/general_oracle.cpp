@@ -136,6 +136,105 @@ std::unique_ptr<ConditionalState> GeneralDppOracle::make_conditional_state()
   return std::make_unique<State>(*this);
 }
 
+// ---- the commit path (DESIGN.md §2 convention 7) ----
+//
+// The charpoly family's per-round preprocessing is the engine node cache
+// (inherently rebuilt when the ensemble changes) plus the partition
+// coefficient's full grid sweep. The commit path removes the latter: the
+// chain rule det(L_{T ∪ F}) = det(L_TT) det((L^T)_F) gives
+//   Z' = P[batch ⊆ S] * Z / det(L_batch,batch),
+// so the conditioned oracle's partition coefficient is seeded from the
+// accepted trial's already-computed counting answer and the Schur
+// elimination determinant instead of a fresh sweep.
+class GeneralDppOracle::Committed final : public CommittedOracle {
+ public:
+  explicit Committed(const GeneralDppOracle& base) : base_(&base) {}
+
+  void commit(std::span<const int> batch, double log_joint) override {
+    const std::size_t tsize = batch.size();
+    if (tsize == 0) return;
+    const GeneralDppOracle& c = cur();
+    check_arg(tsize <= c.k_, "commit: |batch| exceeds k");
+    const auto tc = c.batch_part_counts(batch);
+    std::vector<int> new_counts(c.counts_.size());
+    for (std::size_t a = 0; a < c.counts_.size(); ++a) {
+      new_counts[a] = c.counts_[a] - tc[a];
+      check_arg(new_counts[a] >= 0,
+                "commit: batch violates a partition budget");
+    }
+    // Capture the current partition before the matrix changes; only seed
+    // the next conditional when every ingredient is cleanly available.
+    const LogCoefficient z = c.partition_coefficient();
+    const auto result = condition_ensemble(c.l_, batch, /*symmetric=*/false);
+    const auto keep = complement_indices(c.l_.rows(), batch);
+    std::vector<int> new_parts;
+    new_parts.reserve(keep.size());
+    for (const int i : keep)
+      new_parts.push_back(c.part_of_[static_cast<std::size_t>(i)]);
+    auto next = std::make_unique<GeneralDppOracle>(
+        result.reduced, std::move(new_parts), std::move(new_counts),
+        /*validate=*/false);
+    if (!std::isnan(log_joint) && log_joint != kNegInf && z.sign > 0 &&
+        result.det_sign_elim > 0) {
+      next->partition_ = LogCoefficient{
+          log_joint + z.log_abs - result.log_abs_det_elim, 1};
+    }
+    current_ = std::move(next);
+    committed_ += tsize;
+  }
+
+  void reset() override {
+    current_.reset();
+    committed_ = 0;
+  }
+  [[nodiscard]] std::size_t committed_count() const override {
+    return committed_;
+  }
+
+  [[nodiscard]] std::size_t ground_size() const override {
+    return cur().ground_size();
+  }
+  [[nodiscard]] std::size_t sample_size() const override {
+    return cur().sample_size();
+  }
+  [[nodiscard]] double log_joint_marginal(
+      std::span<const int> t) const override {
+    return cur().log_joint_marginal(t);
+  }
+  [[nodiscard]] std::vector<double> marginals() const override {
+    return cur().marginals();
+  }
+  [[nodiscard]] MarginalDraw draw_marginal(RandomStream& rng) const override {
+    return cur().draw_marginal(rng);
+  }
+  [[nodiscard]] std::unique_ptr<CountingOracle> condition(
+      std::span<const int> t) const override {
+    return cur().condition(t);
+  }
+  [[nodiscard]] std::unique_ptr<CountingOracle> clone() const override {
+    return cur().clone();
+  }
+  [[nodiscard]] std::string name() const override { return cur().name(); }
+  void prepare_concurrent() const override { cur().prepare_concurrent(); }
+  [[nodiscard]] std::unique_ptr<ConditionalState> make_conditional_state()
+      const override {
+    return cur().make_conditional_state();
+  }
+
+ private:
+  [[nodiscard]] const GeneralDppOracle& cur() const {
+    return current_ != nullptr ? *current_ : *base_;
+  }
+
+  const GeneralDppOracle* base_;
+  std::unique_ptr<GeneralDppOracle> current_;
+  std::size_t committed_ = 0;
+};
+
+std::unique_ptr<CommittedOracle> GeneralDppOracle::make_committed() const {
+  return std::make_unique<Committed>(*this);
+}
+
 std::unique_ptr<CountingOracle> GeneralDppOracle::condition(
     std::span<const int> t) const {
   check_arg(t.size() <= k_, "condition: |T| exceeds k");

@@ -39,6 +39,13 @@ class GeneralDppOracle final : public CountingOracle {
   void prepare_concurrent() const override;
   [[nodiscard]] std::unique_ptr<ConditionalState> make_conditional_state()
       const override;
+  /// Commit-path state: each accepted round seeds the conditioned
+  /// oracle's partition coefficient from the accepted trial's counting
+  /// answer and the elimination block's determinant (chain rule), so the
+  /// engine's full partition grid sweep is never re-run mid-run
+  /// (DESIGN.md §2 convention 7).
+  [[nodiscard]] std::unique_ptr<CommittedOracle> make_committed()
+      const override;
 
   [[nodiscard]] const Matrix& ensemble() const noexcept { return l_; }
   [[nodiscard]] std::span<const int> part_of() const { return part_of_; }
@@ -49,6 +56,7 @@ class GeneralDppOracle final : public CountingOracle {
 
  private:
   class State;
+  class Committed;
 
   const CharPolyEngine& engine() const;
   /// Cached log partition coefficient: the engine's grid sweep for

@@ -1,6 +1,8 @@
 #include "dpp/symmetric_oracle.h"
 
 #include <cmath>
+#include <limits>
+#include <utility>
 
 #include "dpp/ensemble.h"
 #include "linalg/cholesky.h"
@@ -9,6 +11,82 @@
 #include "support/logsum.h"
 
 namespace pardpp {
+
+namespace {
+
+// From-scratch joint marginal of the k-DPP with ensemble `l` and partition
+// log_z = log e_k(lambda(l)) — the arithmetic both the base oracle and the
+// commit-path state resolve reference queries with.
+double log_joint_scratch(const Matrix& l, std::size_t k, double log_z,
+                         std::span<const int> t) {
+  const std::size_t tsize = t.size();
+  if (tsize > k) return kNegInf;
+  if (tsize == 0) return 0.0;
+  // det(L_T): zero (or numerically non-PD) blocks mean P[T ⊆ S] = 0.
+  const Matrix lt = l.principal(t);
+  const auto chol_t = cholesky(lt);
+  if (!chol_t.has_value()) return kNegInf;
+  const double log_det_t = chol_t->log_det();
+  if (tsize == k) return log_det_t - log_z;
+  // e_{k-t} of the conditional ensemble's spectrum.
+  const auto keep = complement_indices(l.rows(), t);
+  const auto schur = schur_complement(l, keep, t, /*symmetric=*/true);
+  auto lambda = symmetric_eigenvalues(schur.reduced);
+  clamp_spectrum_to_rank(lambda);
+  const auto log_e = log_esp(lambda, k - tsize);
+  const double tail = log_e[k - tsize];
+  if (tail == kNegInf) return kNegInf;
+  return log_det_t + tail - log_z;
+}
+
+// Marginal vector p_i = sum_m w_m V_im^2 from the cached spectral factors.
+std::vector<double> marginals_from_spectrum(const SymmetricEigen& eig,
+                                            const LogEspTable& table,
+                                            std::size_t k) {
+  const std::size_t n = eig.values.size();
+  std::vector<double> p(n, 0.0);
+  if (k == 0 || n == 0) return p;
+  const double log_z = table.log_e(k);
+  check_numeric(log_z != kNegInf,
+                "SymmetricKdppOracle: partition function is zero "
+                "(rank of L below k)");
+  // The weights are probabilities of eigenvector selection (they sum to
+  // k), so the accumulation is safe in linear domain.
+  std::vector<double> w;
+  esp_mode_weights(eig.values, table, k, w);
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = 0.0;
+    for (std::size_t m = 0; m < n; ++m) {
+      const double v = eig.vectors(i, m);
+      acc += w[m] * v * v;
+    }
+    p[i] = std::min(acc, 1.0);
+  }
+  return p;
+}
+
+// Exact two-stage mixture draw: mode m ~ w_m / k, then item i ~ V_im^2.
+// Marginally i ~ p_i / k without ever assembling the marginal vector —
+// the spectral families' draw protocol (one categorical over modes, one
+// over items; a per-family determinism invariant).
+int two_stage_draw(const SymmetricEigen& eig, const LogEspTable& table,
+                   std::size_t k, std::vector<double>& w_scratch,
+                   std::vector<double>& col_scratch, RandomStream& rng) {
+  const double log_z = table.log_e(k);
+  check_numeric(log_z != kNegInf,
+                "draw_marginal: partition function is zero");
+  esp_mode_weights(eig.values, table, k, w_scratch);
+  const std::size_t mode = rng.categorical(w_scratch);
+  const std::size_t n = eig.values.size();
+  col_scratch.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double v = eig.vectors(i, mode);
+    col_scratch[i] = v * v;
+  }
+  return static_cast<int>(rng.categorical(col_scratch));
+}
+
+}  // namespace
 
 SymmetricKdppOracle::SymmetricKdppOracle(Matrix l, std::size_t k,
                                          bool validate)
@@ -38,48 +116,18 @@ double SymmetricKdppOracle::log_partition() const { return esp().log_e(k_); }
 
 const std::vector<double>& SymmetricKdppOracle::marginal_cache() const {
   if (!marginals_.has_value()) {
-    const std::size_t n = ground_size();
-    std::vector<double> p(n, 0.0);
-    if (k_ != 0 && n != 0) {
-      const auto& eig = eigen();
-      const auto& table = esp();
-      const double log_z = table.log_e(k_);
-      check_numeric(log_z != kNegInf,
-                    "SymmetricKdppOracle: partition function is zero "
-                    "(rank of L below k)");
-      // p_i = sum_m w_m V_im^2 with w_m = lambda_m e_{k-1}(lambda \ m) /
-      // e_k. The weights are probabilities of eigenvector selection (they
-      // sum to k), so the accumulation is safe in linear domain.
-      std::vector<double> w(n, 0.0);
-      for (std::size_t m = 0; m < n; ++m) {
-        const double lambda = eig.values[m];
-        if (lambda <= 0.0) continue;
-        const double log_w =
-            std::log(lambda) + table.log_e_without(m, k_ - 1) - log_z;
-        w[m] = std::exp(log_w);
-      }
-      for (std::size_t i = 0; i < n; ++i) {
-        double acc = 0.0;
-        for (std::size_t m = 0; m < n; ++m) {
-          const double v = eig.vectors(i, m);
-          acc += w[m] * v * v;
-        }
-        p[i] = std::min(acc, 1.0);
-      }
+    if (k_ == 0 || ground_size() == 0) {
+      marginals_ = std::vector<double>(ground_size(), 0.0);
+    } else {
+      marginals_ = marginals_from_spectrum(eigen(), esp(), k_);
     }
-    marginals_ = std::move(p);
   }
   return *marginals_;
 }
 
 const std::vector<double>& SymmetricKdppOracle::log_marginal_cache() const {
-  if (!log_marginals_.has_value()) {
-    const auto& p = marginal_cache();
-    std::vector<double> lp(p.size(), kNegInf);
-    for (std::size_t i = 0; i < p.size(); ++i)
-      if (p[i] > 0.0) lp[i] = std::log(p[i]);
-    log_marginals_ = std::move(lp);
-  }
+  if (!log_marginals_.has_value())
+    log_marginals_ = log_probabilities(marginal_cache());
   return *log_marginals_;
 }
 
@@ -88,46 +136,43 @@ std::vector<double> SymmetricKdppOracle::marginals() const {
 }
 
 double SymmetricKdppOracle::log_joint_marginal(std::span<const int> t) const {
-  const std::size_t tsize = t.size();
-  if (tsize > k_) return kNegInf;
-  if (tsize == 0) return 0.0;
-  // det(L_T): zero (or numerically non-PD) blocks mean P[T ⊆ S] = 0.
-  const Matrix lt = l_.principal(t);
-  const auto chol_t = cholesky(lt);
-  if (!chol_t.has_value()) return kNegInf;
-  const double log_det_t = chol_t->log_det();
-  if (tsize == k_) return log_det_t - log_partition();
-  // e_{k-t} of the conditional ensemble's spectrum.
-  const auto keep = complement_indices(l_.rows(), t);
-  const auto schur = schur_complement(l_, keep, t, /*symmetric=*/true);
-  auto lambda = symmetric_eigenvalues(schur.reduced);
-  clamp_spectrum_to_rank(lambda);
-  const auto log_e = log_esp(lambda, k_ - tsize);
-  const double tail = log_e[k_ - tsize];
-  if (tail == kNegInf) return kNegInf;
-  return log_det_t + tail - log_partition();
+  if (t.size() > k_) return kNegInf;
+  if (t.empty()) return 0.0;
+  return log_joint_scratch(l_, k_, log_partition(), t);
+}
+
+MarginalDraw SymmetricKdppOracle::draw_marginal(RandomStream& rng) const {
+  std::vector<double> w;
+  std::vector<double> col;
+  MarginalDraw draw;
+  draw.index = two_stage_draw(eigen(), esp(), k_, w, col, rng);
+  return draw;
 }
 
 // Wave-scoped incremental query evaluator (oracle.h): answers each query
-// against the shared prefix already folded into this oracle, extending by
-// the proposal batch with an incrementally grown Cholesky factor and a
-// scratch-reusing Schur complement. Singleton extensions short-circuit to
-// the cached leave-one-out ESP marginals — no factorization at all.
+// against the shared prefix already folded into the view it was created
+// from — the base oracle's caches, or the commit-path state's refreshed
+// caches — extending by the proposal batch with an incrementally grown
+// Cholesky factor and a scratch-reusing Schur complement. Singleton
+// extensions short-circuit to the cached leave-one-out ESP marginals — no
+// factorization at all.
 class SymmetricKdppOracle::State final : public ConditionalState {
  public:
-  explicit State(const SymmetricKdppOracle& oracle)
-      : o_(oracle), chol_(oracle.sample_size()) {}
+  State(const Matrix& l, std::size_t k, double log_z,
+        const std::vector<double>* log_marginals)
+      : l_(l), k_(k), log_z_(log_z), log_marginals_(log_marginals),
+        chol_(k) {}
 
   [[nodiscard]] double log_joint(std::span<const int> t) override {
     const std::size_t tsize = t.size();
-    const std::size_t n = o_.ground_size();
-    if (tsize > o_.k_) return kNegInf;
+    const std::size_t n = l_.rows();
+    if (tsize > k_) return kNegInf;
     if (tsize == 0) return 0.0;
     for (const int i : t)
       check_arg(i >= 0 && static_cast<std::size_t>(i) < n,
                 "log_joint: index out of range");
-    if (tsize == 1 && o_.log_partition() != kNegInf)
-      return o_.log_marginal_cache()[static_cast<std::size_t>(t[0])];
+    if (tsize == 1 && log_z_ != kNegInf && log_marginals_ != nullptr)
+      return (*log_marginals_)[static_cast<std::size_t>(t[0])];
     // Incremental Cholesky of L_T, one bordered row per element; a
     // non-PD extension means P[T ⊆ S] = 0 (duplicates land here too).
     // The threshold is seeded with the whole block's largest diagonal so
@@ -135,28 +180,28 @@ class SymmetricKdppOracle::State final : public ConditionalState {
     // exactly, independent of the batch's element order.
     double max_diag = 0.0;
     for (const int i : t)
-      max_diag = std::max(max_diag, std::abs(o_.l_(static_cast<std::size_t>(i),
-                                                   static_cast<std::size_t>(i))));
+      max_diag = std::max(max_diag, std::abs(l_(static_cast<std::size_t>(i),
+                                               static_cast<std::size_t>(i))));
     chol_.clear(max_diag);
     row_.resize(tsize);
     for (std::size_t r = 0; r < tsize; ++r) {
       const auto tr = static_cast<std::size_t>(t[r]);
       for (std::size_t c = 0; c <= r; ++c)
-        row_[c] = o_.l_(tr, static_cast<std::size_t>(t[c]));
+        row_[c] = l_(tr, static_cast<std::size_t>(t[c]));
       if (!chol_.append(std::span<const double>(row_.data(), r + 1)))
         return kNegInf;
     }
     const double log_det_t = chol_.log_det();
-    if (tsize == o_.k_) return log_det_t - o_.log_partition();
+    if (tsize == k_) return log_det_t - log_z_;
     // e_{k-t} of the conditional spectrum, via the already-built factor.
     complement_into(t, n);
-    schur_complement_sym_into(o_.l_, keep_, t, chol_, y_, reduced_);
+    schur_complement_sym_into(l_, keep_, t, chol_, y_, reduced_);
     lambda_ = symmetric_eigenvalues(reduced_);
     clamp_spectrum_to_rank(lambda_);
-    const auto log_e = log_esp(lambda_, o_.k_ - tsize);
-    const double tail = log_e[o_.k_ - tsize];
+    const auto log_e = log_esp(lambda_, k_ - tsize);
+    const double tail = log_e[k_ - tsize];
     if (tail == kNegInf) return kNegInf;
-    return log_det_t + tail - o_.log_partition();
+    return log_det_t + tail - log_z_;
   }
 
  private:
@@ -170,7 +215,10 @@ class SymmetricKdppOracle::State final : public ConditionalState {
       if (mask_[i] == 0) keep_.push_back(static_cast<int>(i));
   }
 
-  const SymmetricKdppOracle& o_;
+  const Matrix& l_;
+  std::size_t k_;
+  double log_z_;
+  const std::vector<double>* log_marginals_;
   IncrementalCholesky chol_;
   std::vector<double> row_;
   std::vector<char> mask_;
@@ -182,7 +230,266 @@ class SymmetricKdppOracle::State final : public ConditionalState {
 
 std::unique_ptr<ConditionalState> SymmetricKdppOracle::make_conditional_state()
     const {
-  return std::make_unique<State>(*this);
+  const double log_z = log_partition();
+  const std::vector<double>* lm =
+      log_z != kNegInf ? &log_marginal_cache() : nullptr;
+  return std::make_unique<State>(l_, k_, log_z, lm);
+}
+
+// ---- the commit path (DESIGN.md §2 convention 7) ----
+//
+// One long-lived conditional: `commit(batch)` folds the accepted batch
+// into the state in place — the batch's bordered Cholesky rows are
+// appended to the persistent factors, the conditional ensemble is updated
+// by the half-solve Schur complement on reused buffers, and the spectral
+// caches (eigen, ESP, marginals) are refreshed for the new conditional —
+// instead of materializing a conditioned oracle and re-deriving all of it
+// from scratch. Until the first commit every query reads the base
+// oracle's shared caches, so a session that primes the base once
+// amortizes the O(n^3) spectral preprocessing across every draw.
+class SymmetricKdppOracle::Committed final : public CommittedOracle {
+ public:
+  explicit Committed(const SymmetricKdppOracle& base)
+      : base_(&base), k_cur_(base.k_) {
+    base_chol_.reserve(base.k_);
+    reset();
+  }
+
+  void commit(std::span<const int> batch, double /*log_joint*/) override {
+    const std::size_t tsize = batch.size();
+    if (tsize == 0) return;
+    check_arg(tsize <= k_cur_, "commit: |batch| exceeds k");
+    const Matrix& src = ensemble();
+    const std::size_t n = src.rows();
+    for (const int i : batch)
+      check_arg(i >= 0 && static_cast<std::size_t>(i) < n,
+                "commit: index out of range");
+    // Factor the elimination block of the *current* conditional — the
+    // accepted trial's bordered rows, the same arithmetic the query state
+    // used to answer it. This validates the batch (P[batch ⊆ S] > 0)
+    // before anything else mutates, so a throw here leaves the state
+    // exactly as it was.
+    double max_diag = 0.0;
+    for (const int i : batch)
+      max_diag = std::max(max_diag, std::abs(src(static_cast<std::size_t>(i),
+                                                 static_cast<std::size_t>(i))));
+    elim_chol_.clear(max_diag);
+    row_.resize(tsize);
+    for (std::size_t r = 0; r < tsize; ++r) {
+      const auto tr = static_cast<std::size_t>(batch[r]);
+      for (std::size_t c = 0; c <= r; ++c)
+        row_[c] = src(tr, static_cast<std::size_t>(batch[c]));
+      check_numeric(
+          elim_chol_.append(std::span<const double>(row_.data(), r + 1)),
+          "commit: conditioning on a probability-zero event");
+    }
+    // Grow the committed base-prefix factor (chol of L_base[T, T], one
+    // bordered row per accepted element, in commit order). Kept behind
+    // commit_prefix() so log_committed_mass() stays O(1); a numerically
+    // borderline block only disables the diagnostic, never the commit.
+    if (base_ok_) {
+      const Matrix& lb = base_->l_;
+      for (std::size_t r = 0; r < tsize && base_ok_; ++r) {
+        const auto br = static_cast<std::size_t>(
+            ids_[static_cast<std::size_t>(batch[r])]);
+        row_.resize(base_chol_.size() + 1);
+        for (std::size_t c = 0; c < committed_ids_.size(); ++c)
+          row_[c] = lb(br, static_cast<std::size_t>(committed_ids_[c]));
+        for (std::size_t c = 0; c < r; ++c)
+          row_[committed_ids_.size() + c] =
+              lb(br, static_cast<std::size_t>(
+                         ids_[static_cast<std::size_t>(batch[c])]));
+        row_[base_chol_.size()] = lb(br, br);
+        base_ok_ = base_chol_.append(row_);
+      }
+      if (base_ok_) {
+        base_chol_.commit_prefix();
+      } else {
+        base_chol_.truncate();  // drop this batch's partial rows
+      }
+    }
+    // Condition in place by the half-solve Schur complement on
+    // persistent scratch.
+    mask_.assign(n, 0);
+    for (const int i : batch) mask_[static_cast<std::size_t>(i)] = 1;
+    keep_.clear();
+    for (std::size_t i = 0; i < n; ++i)
+      if (mask_[i] == 0) keep_.push_back(static_cast<int>(i));
+    schur_complement_sym_into(src, keep_, batch, elim_chol_, y_, next_);
+    std::swap(m_, next_);
+    // Record the accepted ids in batch order — the same order their
+    // bordered rows joined the committed factor. Then re-index: delete +
+    // compact, order preserved (condition() semantics).
+    for (const int b : batch)
+      committed_ids_.push_back(ids_[static_cast<std::size_t>(b)]);
+    std::size_t w = 0;
+    for (std::size_t i = 0; i < n; ++i)
+      if (mask_[i] == 0) ids_[w++] = ids_[i];
+    ids_.resize(w);
+    k_cur_ -= tsize;
+    ++rounds_;
+    refresh_spectrum();
+  }
+
+  void reset() override {
+    k_cur_ = base_->k_;
+    rounds_ = 0;
+    ids_.clear();
+    for (std::size_t i = 0; i < base_->ground_size(); ++i)
+      ids_.push_back(static_cast<int>(i));
+    committed_ids_.clear();
+    base_ok_ = true;
+    double max_diag = 0.0;
+    for (std::size_t i = 0; i < base_->ground_size(); ++i)
+      max_diag = std::max(max_diag, std::abs(base_->l_(i, i)));
+    base_chol_.clear(max_diag);
+    eig_.reset();
+    esp_.reset();
+    marginals_.reset();
+    log_marginals_.reset();
+  }
+
+  [[nodiscard]] std::size_t committed_count() const override {
+    return committed_ids_.size();
+  }
+
+  [[nodiscard]] double log_committed_mass() const override {
+    if (!base_ok_) return std::numeric_limits<double>::quiet_NaN();
+    // Chain rule: P[T ⊆ S] = det(L_T) e_{k-t}(lambda(L^T)) / e_k(lambda).
+    return base_chol_.log_det() + esp_table().log_e(k_cur_) -
+           base_->log_partition();
+  }
+
+  [[nodiscard]] std::size_t ground_size() const override {
+    return rounds_ == 0 ? base_->ground_size() : m_.rows();
+  }
+  [[nodiscard]] std::size_t sample_size() const override { return k_cur_; }
+
+  [[nodiscard]] double log_joint_marginal(
+      std::span<const int> t) const override {
+    if (t.size() > k_cur_) return kNegInf;
+    if (t.empty()) return 0.0;
+    return log_joint_scratch(ensemble(), k_cur_, log_partition(), t);
+  }
+
+  [[nodiscard]] std::vector<double> marginals() const override {
+    return marginal_cache();
+  }
+
+  [[nodiscard]] MarginalDraw draw_marginal(RandomStream& rng) const override {
+    MarginalDraw draw;
+    draw.index =
+        two_stage_draw(eig(), esp_table(), k_cur_, w_scratch_, col_scratch_,
+                       rng);
+    return draw;
+  }
+
+  [[nodiscard]] std::unique_ptr<CountingOracle> condition(
+      std::span<const int> t) const override {
+    check_arg(t.size() <= k_cur_, "condition: |T| exceeds k");
+    const auto result = condition_ensemble(ensemble(), t, /*symmetric=*/true);
+    return std::make_unique<SymmetricKdppOracle>(result.reduced,
+                                                 k_cur_ - t.size(),
+                                                 /*validate=*/false);
+  }
+
+  [[nodiscard]] std::unique_ptr<CountingOracle> clone() const override {
+    return std::make_unique<SymmetricKdppOracle>(ensemble(), k_cur_,
+                                                 /*validate=*/false);
+  }
+
+  [[nodiscard]] std::string name() const override { return base_->name(); }
+
+  void prepare_concurrent() const override {
+    if (rounds_ == 0) {
+      base_->prepare_concurrent();
+      return;
+    }
+    if (log_partition() != kNegInf) (void)log_marginal_cache();
+  }
+
+  [[nodiscard]] std::unique_ptr<ConditionalState> make_conditional_state()
+      const override {
+    const double log_z = log_partition();
+    const std::vector<double>* lm =
+        log_z != kNegInf ? &log_marginal_cache() : nullptr;
+    return std::make_unique<State>(ensemble(), k_cur_, log_z, lm);
+  }
+
+ private:
+  [[nodiscard]] const Matrix& ensemble() const {
+    return rounds_ == 0 ? base_->l_ : m_;
+  }
+  [[nodiscard]] const SymmetricEigen& eig() const {
+    if (rounds_ == 0) return base_->eigen();
+    return *eig_;
+  }
+  [[nodiscard]] const LogEspTable& esp_table() const {
+    if (rounds_ == 0) return base_->esp();
+    return *esp_;
+  }
+  [[nodiscard]] double log_partition() const {
+    return esp_table().log_e(k_cur_);
+  }
+  [[nodiscard]] const std::vector<double>& marginal_cache() const {
+    if (rounds_ == 0) return base_->marginal_cache();
+    if (!marginals_.has_value()) {
+      if (k_cur_ == 0 || m_.rows() == 0) {
+        marginals_ = std::vector<double>(m_.rows(), 0.0);
+      } else {
+        marginals_ = marginals_from_spectrum(*eig_, *esp_, k_cur_);
+      }
+    }
+    return *marginals_;
+  }
+  [[nodiscard]] const std::vector<double>& log_marginal_cache() const {
+    if (rounds_ == 0) return base_->log_marginal_cache();
+    if (!log_marginals_.has_value())
+      log_marginals_ = log_probabilities(marginal_cache());
+    return *log_marginals_;
+  }
+
+  void refresh_spectrum() {
+    marginals_.reset();
+    log_marginals_.reset();
+    if (k_cur_ == 0) {
+      // The run is complete; no further spectral queries are answerable
+      // (log_e(0) = 0 still works through an empty table).
+      eig_ = SymmetricEigen{};
+      esp_ = LogEspTable(std::vector<double>{}, 0);
+      return;
+    }
+    eig_ = symmetric_eigen(m_);
+    std::vector<double> lambda = eig_->values;
+    clamp_spectrum_to_rank(lambda);
+    esp_ = LogEspTable(lambda, k_cur_);
+  }
+
+  const SymmetricKdppOracle* base_;
+  std::size_t k_cur_;
+  std::size_t rounds_ = 0;
+  Matrix m_;                       // conditional ensemble (valid after round 1)
+  std::vector<int> ids_;           // current index -> base index
+  std::vector<int> committed_ids_; // base ids in commit order
+  bool base_ok_ = true;
+  IncrementalCholesky base_chol_;  // committed prefix over the base matrix
+  IncrementalCholesky elim_chol_;  // per-commit elimination block factor
+  std::optional<SymmetricEigen> eig_;
+  std::optional<LogEspTable> esp_;
+  mutable std::optional<std::vector<double>> marginals_;
+  mutable std::optional<std::vector<double>> log_marginals_;
+  // reused scratch
+  std::vector<double> row_;
+  std::vector<char> mask_;
+  std::vector<int> keep_;
+  std::vector<double> y_;
+  Matrix next_;
+  mutable std::vector<double> w_scratch_;
+  mutable std::vector<double> col_scratch_;
+};
+
+std::unique_ptr<CommittedOracle> SymmetricKdppOracle::make_committed() const {
+  return std::make_unique<Committed>(*this);
 }
 
 std::unique_ptr<CountingOracle> SymmetricKdppOracle::condition(

@@ -45,6 +45,14 @@ class SymmetricKdppOracle final : public CountingOracle {
   void prepare_concurrent() const override;
   [[nodiscard]] std::unique_ptr<ConditionalState> make_conditional_state()
       const override;
+  /// Exact two-stage mixture draw: eigenmode ~ ESP weight, then item ~
+  /// squared eigenvector entry — never materializes the marginal vector.
+  [[nodiscard]] MarginalDraw draw_marginal(RandomStream& rng) const override;
+  /// Commit-path state: in-place half-solve Schur conditioning + spectral
+  /// refresh on persistent scratch, with the committed base-prefix
+  /// Cholesky grown across rounds (DESIGN.md §2 convention 7).
+  [[nodiscard]] std::unique_ptr<CommittedOracle> make_committed()
+      const override;
 
   /// The (conditional) ensemble matrix.
   [[nodiscard]] const Matrix& ensemble() const noexcept { return l_; }
@@ -54,6 +62,7 @@ class SymmetricKdppOracle final : public CountingOracle {
 
  private:
   class State;
+  class Committed;
 
   const SymmetricEigen& eigen() const;
   const LogEspTable& esp() const;

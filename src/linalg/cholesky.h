@@ -72,6 +72,14 @@ class CholeskyDecomposition {
 /// The row-by-row arithmetic is identical to `cholesky()` below, so
 /// determinants and solves agree to the last bit with a from-scratch
 /// factorization of the same matrix.
+///
+/// A *committed prefix* supports the cross-round reuse of the sampler
+/// commit path (DESIGN.md §2 convention 7): `commit_prefix()` marks the
+/// rows factored so far as permanent, after which `truncate()` (and
+/// `truncate(size)`) can only pop back to that floor — the accepted
+/// rounds' bordered rows are absorbed instead of discarded, and
+/// `log_det()` keeps accumulating across rounds. `clear()` resets the
+/// floor along with everything else.
 class IncrementalCholesky {
  public:
   /// Reserves room for matrices up to `capacity` rows (grows on demand).
@@ -100,10 +108,24 @@ class IncrementalCholesky {
   /// (and make the verdict depend on the append order).
   void clear(double max_abs_diag = 0.0) noexcept {
     size_ = 0;
+    committed_ = 0;
     seed_diag_ = max_abs_diag;
     max_diag_ = max_abs_diag;
     log_det_ = 0.0;
   }
+
+  /// Marks every row factored so far as permanent: `truncate` can no
+  /// longer pop below this point. The commit-path hook — accepted rows
+  /// join the persistent factor; speculative extensions beyond them stay
+  /// poppable.
+  void commit_prefix() noexcept { committed_ = size_; }
+
+  [[nodiscard]] std::size_t committed_size() const noexcept {
+    return committed_;
+  }
+
+  /// Pops every row appended since the last `commit_prefix()`.
+  void truncate() { truncate(committed_); }
 
   /// Pops back to the first `prefix` rows — the factor of the prefix's
   /// principal submatrix, exactly as it was before the later appends:
@@ -113,6 +135,8 @@ class IncrementalCholesky {
   /// rows that were appended and popped in between.
   void truncate(std::size_t prefix) {
     check_arg(prefix <= size_, "IncrementalCholesky: truncate past size");
+    check_arg(prefix >= committed_,
+              "IncrementalCholesky: truncate below the committed prefix");
     size_ = prefix;
     max_diag_ = seed_diag_;
     log_det_ = 0.0;
@@ -191,6 +215,7 @@ class IncrementalCholesky {
 
   Matrix lower_;
   std::size_t size_ = 0;
+  std::size_t committed_ = 0;
   std::size_t cap_ = 0;
   double tol_ = 1e-12;
   double seed_diag_ = 0.0;  // clear()'s threshold seed, kept for truncate()

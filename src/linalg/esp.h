@@ -8,6 +8,7 @@
 #pragma once
 
 #include <algorithm>
+#include <cmath>
 #include <span>
 #include <vector>
 
@@ -62,5 +63,25 @@ class LogEspTable {
   std::vector<std::vector<double>> prefix_;
   std::vector<std::vector<double>> suffix_;
 };
+
+/// Eigenmode selection weights of a k-DPP with spectrum `lambda`:
+/// w_m = lambda_m e_{k-1}(lambda \ m) / e_k(lambda), written into `w`
+/// (resized to lambda.size()). The w_m are the probabilities that
+/// eigenvector m participates in the sample's projection mixture — they
+/// sum to k, and p_i = sum_m w_m V_im^2 recovers the singleton marginals.
+/// `table` must be the LogEspTable of `lambda` with jmax >= k, and
+/// e_k(lambda) must be nonzero.
+inline void esp_mode_weights(std::span<const double> lambda,
+                             const LogEspTable& table, std::size_t k,
+                             std::vector<double>& w) {
+  w.assign(lambda.size(), 0.0);
+  if (k == 0) return;
+  const double log_z = table.log_e(k);
+  for (std::size_t m = 0; m < lambda.size(); ++m) {
+    if (lambda[m] <= 0.0) continue;
+    w[m] = std::exp(std::log(lambda[m]) + table.log_e_without(m, k - 1) -
+                    log_z);
+  }
+}
 
 }  // namespace pardpp

@@ -39,32 +39,45 @@ LowRankEigen eigen_from_features(const Matrix& b, double rank_tol) {
   return out;
 }
 
-Matrix condition_features(const Matrix& b, std::span<const int> t) {
+void orthonormalize_feature_rows(const Matrix& b, std::span<const int> t,
+                                 std::vector<double>& q) {
   const std::size_t d = b.cols();
-  check_arg(t.size() <= d, "condition_features: |T| exceeds the rank");
-  if (t.empty()) return b;
-  // Orthonormal basis Q (d x t) of span{B_T rows} by modified
-  // Gram-Schmidt; failure to normalize means det(L_TT) = 0.
-  Matrix q(d, t.size());
+  q.resize(t.size() * d);
   for (std::size_t j = 0; j < t.size(); ++j) {
-    const auto row = static_cast<std::size_t>(t[j]);
-    check_arg(row < b.rows(), "condition_features: index out of range");
-    for (std::size_t c = 0; c < d; ++c) q(c, j) = b(row, c);
+    check_arg(t[j] >= 0 && static_cast<std::size_t>(t[j]) < b.rows(),
+              "orthonormalize_feature_rows: index out of range");
+    const auto row = b.row(static_cast<std::size_t>(t[j]));
+    double* qj = q.data() + j * d;
+    for (std::size_t c = 0; c < d; ++c) qj[c] = row[c];
     for (int pass = 0; pass < 2; ++pass) {
       for (std::size_t prev = 0; prev < j; ++prev) {
+        const double* qp = q.data() + prev * d;
         double dot = 0.0;
-        for (std::size_t c = 0; c < d; ++c) dot += q(c, j) * q(c, prev);
-        for (std::size_t c = 0; c < d; ++c) q(c, j) -= dot * q(c, prev);
+        for (std::size_t c = 0; c < d; ++c) dot += qj[c] * qp[c];
+        for (std::size_t c = 0; c < d; ++c) qj[c] -= dot * qp[c];
       }
     }
     double norm = 0.0;
-    for (std::size_t c = 0; c < d; ++c) norm += q(c, j) * q(c, j);
+    for (std::size_t c = 0; c < d; ++c) norm += qj[c] * qj[c];
     norm = std::sqrt(norm);
     check_numeric(norm > 1e-10,
                   "condition_features: B_T rows are linearly dependent "
                   "(conditioning on a probability-zero event)");
-    for (std::size_t c = 0; c < d; ++c) q(c, j) /= norm;
+    for (std::size_t c = 0; c < d; ++c) qj[c] /= norm;
   }
+}
+
+Matrix condition_features(const Matrix& b, std::span<const int> t) {
+  const std::size_t d = b.cols();
+  check_arg(t.size() <= d, "condition_features: |T| exceeds the rank");
+  if (t.empty()) return b;
+  // Orthonormal basis Q (d x t) of span{B_T rows}; failure to normalize
+  // means det(L_TT) = 0.
+  std::vector<double> qrows;
+  orthonormalize_feature_rows(b, t, qrows);
+  Matrix q(d, t.size());
+  for (std::size_t j = 0; j < t.size(); ++j)
+    for (std::size_t c = 0; c < d; ++c) q(c, j) = qrows[j * d + c];
   // Extend Q to a full orthonormal basis; the complement Z (d x (d - t))
   // comes from orthogonalizing the standard basis against Q.
   Matrix z(d, d - t.size());

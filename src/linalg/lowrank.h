@@ -34,4 +34,13 @@ struct LowRankEigen {
 [[nodiscard]] Matrix condition_features(const Matrix& b,
                                         std::span<const int> t);
 
+/// Orthonormal basis of the rows B_T by two-pass modified Gram-Schmidt,
+/// written as |T| rows of length B.cols() into `q` (resized). This is
+/// *the* feature-space null-event detector — `condition_features` and the
+/// commit path share it, so the linear-dependence threshold (norm 1e-10,
+/// NumericalError) cannot drift between the reference and incremental
+/// conditioning paths.
+void orthonormalize_feature_rows(const Matrix& b, std::span<const int> t,
+                                 std::vector<double>& q);
+
 }  // namespace pardpp

@@ -224,6 +224,86 @@ class BasicMatrix {
 using Matrix = BasicMatrix<double>;
 using CMatrix = BasicMatrix<std::complex<double>>;
 
+/// C = A B^T for row-major A (m x k) and B (n x k). Both operands stream
+/// their *rows*, so every inner product walks contiguous memory — the
+/// cache-friendly orientation for the Gram/projection hot paths, where the
+/// naive `a * b.transpose()` would first materialize the transpose. The
+/// j-loop is tiled so a block of B rows stays resident in L1 across
+/// consecutive rows of A.
+[[nodiscard]] inline Matrix multiply_transposed_b(const Matrix& a,
+                                                  const Matrix& b) {
+  check_arg(a.cols() == b.cols(),
+            "multiply_transposed_b: inner dimension mismatch");
+  const std::size_t m = a.rows();
+  const std::size_t n = b.rows();
+  const std::size_t k = a.cols();
+  Matrix out(m, n);
+  constexpr std::size_t kTile = 64;
+  for (std::size_t j0 = 0; j0 < n; j0 += kTile) {
+    const std::size_t j1 = std::min(n, j0 + kTile);
+    for (std::size_t i = 0; i < m; ++i) {
+      const double* arow = a.row(i).data();
+      double* orow = out.row(i).data();
+      // Four B rows share each arow load, and the four independent
+      // accumulators break the single-dot dependency chain.
+      std::size_t j = j0;
+      for (; j + 4 <= j1; j += 4) {
+        const double* b0 = b.row(j).data();
+        const double* b1 = b.row(j + 1).data();
+        const double* b2 = b.row(j + 2).data();
+        const double* b3 = b.row(j + 3).data();
+        double acc0 = 0.0, acc1 = 0.0, acc2 = 0.0, acc3 = 0.0;
+        for (std::size_t c = 0; c < k; ++c) {
+          const double av = arow[c];
+          acc0 += av * b0[c];
+          acc1 += av * b1[c];
+          acc2 += av * b2[c];
+          acc3 += av * b3[c];
+        }
+        orow[j] = acc0;
+        orow[j + 1] = acc1;
+        orow[j + 2] = acc2;
+        orow[j + 3] = acc3;
+      }
+      for (; j < j1; ++j) {
+        const double* brow = b.row(j).data();
+        double acc = 0.0;
+        for (std::size_t c = 0; c < k; ++c) acc += arow[c] * brow[c];
+        orow[j] = acc;
+      }
+    }
+  }
+  return out;
+}
+
+/// Blocked symmetric rank-k update C += alpha * A^T A, where A is `r` rows
+/// of length `n` stored row-major with stride `stride` (a raw scratch
+/// buffer, e.g. the half-solved Y of an incremental Schur complement).
+/// Only the upper triangle is accumulated, then mirrored — C must be
+/// symmetric n x n on entry. Rows of A are processed in blocks so each
+/// pass over C's triangle reuses a resident strip of A.
+inline void sym_rank_k_update(Matrix& c, double alpha, const double* a,
+                              std::size_t r, std::size_t n,
+                              std::size_t stride) {
+  check_arg(c.rows() == n && c.cols() == n,
+            "sym_rank_k_update: output shape mismatch");
+  constexpr std::size_t kBlock = 16;
+  for (std::size_t r0 = 0; r0 < r; r0 += kBlock) {
+    const std::size_t r1 = std::min(r, r0 + kBlock);
+    for (std::size_t i = 0; i < n; ++i) {
+      double* crow = c.row(i).data();
+      for (std::size_t p = r0; p < r1; ++p) {
+        const double* arow = a + p * stride;
+        const double s = alpha * arow[i];
+        if (s == 0.0) continue;
+        for (std::size_t j = i; j < n; ++j) crow[j] += s * arow[j];
+      }
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = i + 1; j < n; ++j) c(j, i) = c(i, j);
+}
+
 /// Promotes a real matrix to complex.
 [[nodiscard]] inline CMatrix to_complex(const Matrix& m) {
   CMatrix out(m.rows(), m.cols());

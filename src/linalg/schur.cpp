@@ -78,23 +78,56 @@ void schur_complement_sym_into(const Matrix& m, std::span<const int> keep,
       row[j] = m(er, static_cast<std::size_t>(keep[j]));
   }
   chol.forward_solve_rows(y_scratch.data(), nk, nk);
-  // reduced = M_KK - Y^T Y (symmetric, fill the upper triangle and mirror).
+  // reduced = M_KK - Y^T Y: gather the kept block (symmetric), then a
+  // blocked rank-ne downdate instead of the naive per-entry reduction.
   for (std::size_t i = 0; i < nk; ++i) {
     const auto ki = static_cast<std::size_t>(keep[i]);
     for (std::size_t j = i; j < nk; ++j) {
-      double acc = m(ki, static_cast<std::size_t>(keep[j]));
-      for (std::size_t r = 0; r < ne; ++r)
-        acc -= y_scratch[r * nk + i] * y_scratch[r * nk + j];
-      reduced(i, j) = acc;
-      reduced(j, i) = acc;
+      const double v = m(ki, static_cast<std::size_t>(keep[j]));
+      reduced(i, j) = v;
+      reduced(j, i) = v;
     }
   }
+  sym_rank_k_update(reduced, -1.0, y_scratch.data(), ne, nk, nk);
 }
 
 SchurResult condition_ensemble(const Matrix& l, std::span<const int> t,
                                bool symmetric) {
   const auto keep = complement_indices(l.rows(), t);
   return schur_complement(l, keep, t, symmetric);
+}
+
+void condition_ensemble_sym_into(const Matrix& l, std::span<const int> t,
+                                 IncrementalCholesky& chol,
+                                 std::vector<double>& y_scratch,
+                                 std::vector<int>& keep_scratch,
+                                 Matrix& reduced) {
+  check_arg(l.square(), "condition_ensemble_sym_into: matrix not square");
+  const std::size_t n = l.rows();
+  const std::size_t tsize = t.size();
+  // Seed the PD threshold with the block's largest diagonal so the
+  // verdict matches a from-scratch cholesky(L_TT) (element-order
+  // independent).
+  double max_diag = 0.0;
+  for (const int i : t) {
+    check_arg(i >= 0 && static_cast<std::size_t>(i) < n,
+              "condition_ensemble_sym_into: index out of range");
+    max_diag = std::max(max_diag, std::abs(l(static_cast<std::size_t>(i),
+                                             static_cast<std::size_t>(i))));
+  }
+  chol.clear(max_diag);
+  std::vector<double>& row = y_scratch;  // reused before the half-solve
+  row.resize(tsize);
+  for (std::size_t r = 0; r < tsize; ++r) {
+    const auto tr = static_cast<std::size_t>(t[r]);
+    for (std::size_t c = 0; c <= r; ++c)
+      row[c] = l(tr, static_cast<std::size_t>(t[c]));
+    check_numeric(chol.append(std::span<const double>(row.data(), r + 1)),
+                  "condition_ensemble_sym_into: elimination block not PD "
+                  "(conditioning on a probability-zero event?)");
+  }
+  keep_scratch = complement_indices(n, t);
+  schur_complement_sym_into(l, keep_scratch, t, chol, y_scratch, reduced);
 }
 
 }  // namespace pardpp

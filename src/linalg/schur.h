@@ -54,6 +54,19 @@ void schur_complement_sym_into(const Matrix& m, std::span<const int> keep,
                                              std::span<const int> t,
                                              bool symmetric);
 
+/// Symmetric `condition_ensemble` on caller-owned scratch — the
+/// commit-path conditioning step of the round loops: factors the
+/// elimination block L_TT into `chol` one bordered row at a time (throws
+/// NumericalError when the block is not PD, i.e. conditioning on a
+/// probability-zero event), then writes the Schur complement into
+/// `reduced` via the half-solve. No oracle, no per-round allocations once
+/// the scratch has warmed up.
+void condition_ensemble_sym_into(const Matrix& l, std::span<const int> t,
+                                 IncrementalCholesky& chol,
+                                 std::vector<double>& y_scratch,
+                                 std::vector<int>& keep_scratch,
+                                 Matrix& reduced);
+
 /// The complement of a sorted-or-not index set within {0..n-1}, ascending.
 [[nodiscard]] std::vector<int> complement_indices(std::size_t n,
                                                   std::span<const int> subset);

@@ -128,17 +128,23 @@ class ExecutionContext {
   /// Chunked variant: runs fn(lo, hi) over a partition of [begin, end),
   /// one call per dispatched task (a single call covering the whole range
   /// when running serially). The hook for batch work that amortizes
-  /// per-chunk setup — scratch buffers, shared-prefix factorizations —
-  /// across the chunk's items (CountingOracle::query_many builds one
-  /// ConditionalState per chunk this way).
+  /// per-chunk setup — scratch buffers, shared-prefix factorizations,
+  /// commit-path states — across the chunk's items
+  /// (CountingOracle::query_many builds one ConditionalState per chunk,
+  /// SamplerSession::draw_many one CommittedOracle per chunk, this way).
+  /// `grain` is the minimum number of consecutive indices per dispatched
+  /// chunk: pass the number of items whose combined work amortizes one
+  /// chunk's setup, so heavyweight per-chunk state is never built for a
+  /// near-empty chunk.
   template <typename Fn>
-  void for_each_chunk(std::size_t begin, std::size_t end, Fn&& fn) const {
+  void for_each_chunk(std::size_t begin, std::size_t end, Fn&& fn,
+                      std::size_t grain = 1) const {
     if (begin >= end) return;
     if (!can_fan_out()) {
       fn(begin, end);
       return;
     }
-    parallel_for_chunks(*pool_, begin, end, fn);
+    parallel_for_chunks(*pool_, begin, end, fn, grain);
   }
 
   /// Charges one logical PRAM round to the attached ledger (no-op when

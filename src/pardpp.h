@@ -51,6 +51,7 @@
 #include "sampling/filtering.h"
 #include "sampling/rejection.h"
 #include "sampling/sequential.h"
+#include "sampling/session.h"
 #include "sampling/unconstrained.h"
 
 // Planar perfect matchings

@@ -25,7 +25,7 @@ struct ProposalTrial {
 
 }  // namespace
 
-std::optional<std::vector<int>> run_batch_round(
+std::optional<AcceptedBatch> run_batch_round(
     const CountingOracle& mu, std::span<const double> marginals,
     const BatchRound& config, RandomStream& rng, const ExecutionContext& ctx,
     SampleDiagnostics& diag) {
@@ -42,7 +42,7 @@ std::optional<std::vector<int>> run_batch_round(
   std::vector<std::span<const int>> queries;  // views into trial batches
   std::vector<std::size_t> query_owner;
   std::vector<double> answers;
-  std::optional<std::vector<int>> accepted;
+  std::optional<AcceptedBatch> accepted;
   run_trial_waves<ProposalTrial>(
       ctx, config.machines, rng,
       // Evaluate: machine m draws its t i.i.d. picks from p / k on its
@@ -105,7 +105,7 @@ std::optional<std::vector<int>> run_batch_round(
         }
         if (trial.stream.bernoulli(std::exp(log_ratio - config.log_cap))) {
           ++diag.accepted_batches;
-          accepted = std::move(trial.batch);
+          accepted = AcceptedBatch{std::move(trial.batch), trial.log_joint};
           return true;
         }
         return false;
@@ -119,20 +119,21 @@ std::optional<std::vector<int>> run_batch_round(
 
 }  // namespace detail
 
-SampleResult sample_batched(const CountingOracle& mu, RandomStream& rng,
-                            const ExecutionContext& ctx,
-                            const BatchedOptions& options) {
+SampleResult sample_batched_on(CommittedOracle& state, RandomStream& rng,
+                               const ExecutionContext& ctx,
+                               const BatchedOptions& options) {
+  check_arg(state.committed_count() == 0,
+            "sample_batched_on: state not at its base distribution");
   SampleResult result;
-  IndexTracker tracker(mu.ground_size());
-  std::unique_ptr<CountingOracle> current = mu.clone();
+  IndexTracker tracker(state.ground_size());
   const double round_bound =
-      2.0 * std::sqrt(static_cast<double>(mu.sample_size())) + 2.0;
+      2.0 * std::sqrt(static_cast<double>(state.sample_size())) + 2.0;
   const double delta_round =
       std::max(options.failure_prob / round_bound, 1e-12);
 
-  while (current->sample_size() > 0) {
-    const std::size_t k = current->sample_size();
-    const std::size_t m = current->ground_size();
+  while (state.sample_size() > 0) {
+    const std::size_t k = state.sample_size();
+    const std::size_t m = state.ground_size();
     std::size_t t = options.max_batch == 0
                         ? static_cast<std::size_t>(
                               std::ceil(std::sqrt(static_cast<double>(k))))
@@ -140,7 +141,7 @@ SampleResult sample_batched(const CountingOracle& mu, RandomStream& rng,
     t = std::min(t, k);
 
     // One parallel round of counting queries: all marginals.
-    const std::vector<double> p = current->marginals();
+    const std::vector<double> p = state.marginals();
     ctx.charge(m, m);
     result.diag.oracle_calls += m;
 
@@ -155,24 +156,32 @@ SampleResult sample_batched(const CountingOracle& mu, RandomStream& rng,
     config.machines = static_cast<std::size_t>(std::min(
         machines_needed, static_cast<double>(options.machine_cap)));
 
-    auto batch =
-        detail::run_batch_round(*current, p, config, rng, ctx, result.diag);
+    auto accepted =
+        detail::run_batch_round(state, p, config, rng, ctx, result.diag);
     // The proposal batch runs as one parallel round of `machines`
     // rejection evaluations (one counting query each).
     ctx.charge(config.machines, config.machines);
     result.diag.rounds += 1;
-    if (!batch.has_value()) {
+    if (!accepted.has_value()) {
       throw SamplingFailure(
           "sample_batched: no proposal accepted within the machine budget "
           "(round failure probability exceeded)");
     }
-    for (const int b : *batch) result.items.push_back(tracker.original(b));
-    current = current->condition(*batch);
-    tracker.remove(std::move(*batch));
+    for (const int b : accepted->batch)
+      result.items.push_back(tracker.original(b));
+    state.commit(accepted->batch, accepted->log_joint);
+    tracker.remove(std::move(accepted->batch));
   }
   std::sort(result.items.begin(), result.items.end());
   if (ctx.ledger() != nullptr) result.diag.pram = ctx.ledger()->stats();
   return result;
+}
+
+SampleResult sample_batched(const CountingOracle& mu, RandomStream& rng,
+                            const ExecutionContext& ctx,
+                            const BatchedOptions& options) {
+  const auto state = mu.make_committed();
+  return sample_batched_on(*state, rng, ctx, options);
 }
 
 SampleResult sample_batched(const CountingOracle& mu, RandomStream& rng,

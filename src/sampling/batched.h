@@ -62,19 +62,34 @@ struct BatchedOptions {
                                           PramLedger* ledger = nullptr,
                                           const BatchedOptions& options = {});
 
+/// Core loop on a caller-provided commit-path state (must be at its base
+/// distribution). Each accepted round is folded into the state via
+/// `commit`, passing along the accepted trial's counting answer so
+/// families can update their cached normalization without re-deriving it.
+[[nodiscard]] SampleResult sample_batched_on(CommittedOracle& state,
+                                             RandomStream& rng,
+                                             const ExecutionContext& ctx,
+                                             const BatchedOptions& options = {});
+
 namespace detail {
 
 /// One rejection round shared by the batched and entropic samplers: draws
 /// up to `machines` batches of size `batch` i.i.d. from `marginals`
 /// (normalized by k), accepts with probability ratio / exp(log_cap).
-/// Returns the accepted batch (current-oracle indices) or nullopt.
 struct BatchRound {
   std::size_t batch = 1;
   double log_cap = 0.0;
   std::size_t machines = 1;
 };
 
-[[nodiscard]] std::optional<std::vector<int>> run_batch_round(
+/// An accepted proposal: the batch (current-oracle indices) plus its
+/// counting answer log P[batch ⊆ S] — the value the commit path reuses.
+struct AcceptedBatch {
+  std::vector<int> batch;
+  double log_joint = 0.0;
+};
+
+[[nodiscard]] std::optional<AcceptedBatch> run_batch_round(
     const CountingOracle& mu, std::span<const double> marginals,
     const BatchRound& config, RandomStream& rng, const ExecutionContext& ctx,
     SampleDiagnostics& diag);

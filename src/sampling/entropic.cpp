@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "dpp/subdivision.h"
 #include "sampling/batched.h"
@@ -30,24 +31,25 @@ double lemma36_cap(std::size_t l, std::size_t k, std::size_t n,
 
 }  // namespace
 
-SampleResult sample_entropic(const CountingOracle& mu, RandomStream& rng,
-                             const ExecutionContext& ctx,
-                             const EntropicOptions& options) {
+SampleResult sample_entropic_on(CommittedOracle& state, RandomStream& rng,
+                                const ExecutionContext& ctx,
+                                const EntropicOptions& options) {
   check_arg(options.c > 0.0 && options.c <= 0.5,
             "sample_entropic: need 0 < c <= 1/2");
   check_arg(options.alpha > 0.0, "sample_entropic: alpha must be positive");
+  check_arg(state.committed_count() == 0,
+            "sample_entropic_on: state not at its base distribution");
   SampleResult result;
-  IndexTracker tracker(mu.ground_size());
-  std::unique_ptr<CountingOracle> current = mu.clone();
-  const auto k0 = static_cast<double>(mu.sample_size());
+  IndexTracker tracker(state.ground_size());
+  const auto k0 = static_cast<double>(state.sample_size());
   // Rounds are bounded by ~ k / l; budget the failure probability across a
   // generous estimate.
   const double round_bound = 2.0 * k0 + 2.0;
   const double delta_round =
       std::max(options.failure_prob / round_bound, 1e-12);
 
-  while (current->sample_size() > 0) {
-    const std::size_t k = current->sample_size();
+  while (state.sample_size() > 0) {
+    const std::size_t k = state.sample_size();
     std::size_t l =
         options.max_batch != 0
             ? options.max_batch
@@ -56,11 +58,11 @@ SampleResult sample_entropic(const CountingOracle& mu, RandomStream& rng,
     l = std::clamp<std::size_t>(l, 1, k);
 
     // Optional isotropic transformation for this round.
-    const CountingOracle* round_oracle = current.get();
+    const CountingOracle* round_oracle = &state;
     std::unique_ptr<SubdividedOracle> subdivided;
     if (options.subdivide) {
       subdivided =
-          std::make_unique<SubdividedOracle>(current->clone(), options.beta);
+          std::make_unique<SubdividedOracle>(state.clone(), options.beta);
       round_oracle = subdivided.get();
     }
     const std::size_t m = round_oracle->ground_size();
@@ -86,30 +88,42 @@ SampleResult sample_entropic(const CountingOracle& mu, RandomStream& rng,
     config.machines = static_cast<std::size_t>(std::min(
         machines_needed, static_cast<double>(options.machine_cap)));
 
-    auto batch = detail::run_batch_round(*round_oracle, p, config, rng, ctx,
-                                         result.diag);
+    auto accepted = detail::run_batch_round(*round_oracle, p, config, rng,
+                                            ctx, result.diag);
     ctx.charge(config.machines, config.machines);
     result.diag.rounds += 1;
-    if (!batch.has_value()) {
+    if (!accepted.has_value()) {
       throw SamplingFailure(
           "sample_entropic: no proposal accepted within the machine budget; "
           "raise cap_slack / machine_cap or reduce the batch exponent");
     }
-    // Map accepted copies back to base elements when subdivided.
+    // Map accepted copies back to base elements when subdivided. The
+    // accepted counting answer refers to the subdivided distribution
+    // then, so it is not forwarded to commit.
     std::vector<int> base_batch;
-    base_batch.reserve(batch->size());
+    double commit_log_joint = accepted->log_joint;
+    base_batch.reserve(accepted->batch.size());
     if (options.subdivide) {
-      for (const int c : *batch) base_batch.push_back(subdivided->origin_of(c));
+      for (const int c : accepted->batch)
+        base_batch.push_back(subdivided->origin_of(c));
+      commit_log_joint = std::numeric_limits<double>::quiet_NaN();
     } else {
-      base_batch = std::move(*batch);
+      base_batch = std::move(accepted->batch);
     }
     for (const int b : base_batch) result.items.push_back(tracker.original(b));
-    current = current->condition(base_batch);
+    state.commit(base_batch, commit_log_joint);
     tracker.remove(std::move(base_batch));
   }
   std::sort(result.items.begin(), result.items.end());
   if (ctx.ledger() != nullptr) result.diag.pram = ctx.ledger()->stats();
   return result;
+}
+
+SampleResult sample_entropic(const CountingOracle& mu, RandomStream& rng,
+                             const ExecutionContext& ctx,
+                             const EntropicOptions& options) {
+  const auto state = mu.make_committed();
+  return sample_entropic_on(*state, rng, ctx, options);
 }
 
 SampleResult sample_entropic(const CountingOracle& mu, RandomStream& rng,

@@ -64,4 +64,12 @@ struct EntropicOptions {
                                            PramLedger* ledger = nullptr,
                                            const EntropicOptions& options = {});
 
+/// Core loop on a caller-provided commit-path state (must be at its base
+/// distribution). With subdivision enabled the per-round isotropic wrapper
+/// still clones the current conditional (its copies re-index the ground
+/// set), but the conditioning itself stays on the long-lived state.
+[[nodiscard]] SampleResult sample_entropic_on(
+    CommittedOracle& state, RandomStream& rng, const ExecutionContext& ctx,
+    const EntropicOptions& options = {});
+
 }  // namespace pardpp

@@ -174,6 +174,15 @@ SampleResult sample_filtering_dpp(const Matrix& l, RandomStream& rng,
   small_options.eps =
       std::max(options.eps / static_cast<double>(rounds + 1), 1e-9);
 
+  // Long-lived conditioning state for the round loop (DESIGN.md §2
+  // convention 7): the scaled ensemble is conditioned in place via the
+  // incremental factor + half-solve Schur on persistent scratch, instead
+  // of a fresh Cholesky/solve/gather per accepted round.
+  IncrementalCholesky chol;
+  std::vector<double> y_scratch;
+  std::vector<int> keep_scratch;
+  Matrix reduced;
+
   for (std::size_t round = 0; round < rounds; ++round) {
     const Matrix k_i = marginal_kernel(current_l);
     Matrix small_kernel = k_i;
@@ -190,16 +199,13 @@ SampleResult sample_filtering_dpp(const Matrix& l, RandomStream& rng,
                step.diag.oracle_calls);
 
     // L^{(i+1)} = ((1 - alpha) L^{(i)})^{T_i}.
-    Matrix scaled = current_l;
-    scaled *= (1.0 - alpha);
+    current_l *= (1.0 - alpha);
     if (!step.items.empty()) {
       for (const int b : step.items) result.items.push_back(tracker.original(b));
-      const auto schur =
-          condition_ensemble(scaled, step.items, /*symmetric=*/true);
-      current_l = schur.reduced;
+      condition_ensemble_sym_into(current_l, step.items, chol, y_scratch,
+                                  keep_scratch, reduced);
+      std::swap(current_l, reduced);
       tracker.remove(std::move(step.items));
-    } else {
-      current_l = std::move(scaled);
     }
   }
   std::sort(result.items.begin(), result.items.end());

@@ -1,6 +1,7 @@
 #include "sampling/rejection.h"
 
 #include <cmath>
+#include <utility>
 #include <vector>
 
 #include "support/error.h"
@@ -10,7 +11,10 @@ namespace pardpp {
 
 namespace {
 
-// Normalized per-domain quantities shared by every trial of one run.
+// Normalized per-domain quantities shared by every trial: the setup the
+// FiniteRejection state computes once per run and the one-shot entry
+// point once per call — one implementation, so the determinism-critical
+// arithmetic cannot drift between the two paths.
 struct RejectionSetup {
   std::vector<double> proposal_probs;
   double log_zt = 0.0;
@@ -32,23 +36,15 @@ RejectionSetup make_setup(std::span<const double> log_target,
   return setup;
 }
 
-}  // namespace
-
-RejectionOutcome rejection_sample_finite(std::span<const double> log_target,
-                                         std::span<const double> log_proposal,
-                                         double log_cap, std::size_t machines,
-                                         RandomStream& rng) {
-  return rejection_sample_finite(log_target, log_proposal, log_cap, machines,
-                                 rng, ExecutionContext::serial());
-}
-
-RejectionOutcome rejection_sample_finite(std::span<const double> log_target,
-                                         std::span<const double> log_proposal,
-                                         double log_cap, std::size_t machines,
-                                         RandomStream& rng,
-                                         const ExecutionContext& ctx) {
-  const RejectionSetup setup = make_setup(log_target, log_proposal);
-
+// The wave-driven trial loop shared by the one-shot entry points and the
+// reusable FiniteRejection state: all normalizations arrive precomputed,
+// so both paths consume the stream identically.
+RejectionOutcome run_rejection(std::span<const double> log_target,
+                               std::span<const double> log_proposal,
+                               std::span<const double> proposal_probs,
+                               double log_zt, double log_zp, double log_cap,
+                               std::size_t machines, RandomStream& rng,
+                               const ExecutionContext& ctx) {
   struct Trial {
     std::size_t value = 0;
     bool overflow = false;
@@ -59,10 +55,9 @@ RejectionOutcome rejection_sample_finite(std::span<const double> log_target,
   run_trial_waves<Trial>(
       ctx, machines, rng,
       [&](Trial& trial, RandomStream stream) {
-        trial.value = stream.categorical(setup.proposal_probs);
-        const double log_ratio =
-            (log_target[trial.value] - setup.log_zt) -
-            (log_proposal[trial.value] - setup.log_zp);
+        trial.value = stream.categorical(proposal_probs);
+        const double log_ratio = (log_target[trial.value] - log_zt) -
+                                 (log_proposal[trial.value] - log_zp);
         if (log_ratio > log_cap + 1e-12) {
           trial.overflow = true;
           return;
@@ -86,6 +81,46 @@ RejectionOutcome rejection_sample_finite(std::span<const double> log_target,
       // these individually would cost more than evaluating them.
       /*evaluate_grain=*/256);
   return out;
+}
+
+}  // namespace
+
+FiniteRejection::FiniteRejection(std::vector<double> log_target,
+                                 std::vector<double> log_proposal,
+                                 double log_cap)
+    : log_target_(std::move(log_target)),
+      log_proposal_(std::move(log_proposal)),
+      log_cap_(log_cap) {
+  RejectionSetup setup = make_setup(log_target_, log_proposal_);
+  proposal_probs_ = std::move(setup.proposal_probs);
+  log_zt_ = setup.log_zt;
+  log_zp_ = setup.log_zp;
+}
+
+RejectionOutcome FiniteRejection::draw(std::size_t machines,
+                                       RandomStream& rng,
+                                       const ExecutionContext& ctx) const {
+  return run_rejection(log_target_, log_proposal_, proposal_probs_, log_zt_,
+                       log_zp_, log_cap_, machines, rng, ctx);
+}
+
+RejectionOutcome rejection_sample_finite(std::span<const double> log_target,
+                                         std::span<const double> log_proposal,
+                                         double log_cap, std::size_t machines,
+                                         RandomStream& rng) {
+  return rejection_sample_finite(log_target, log_proposal, log_cap, machines,
+                                 rng, ExecutionContext::serial());
+}
+
+RejectionOutcome rejection_sample_finite(std::span<const double> log_target,
+                                         std::span<const double> log_proposal,
+                                         double log_cap, std::size_t machines,
+                                         RandomStream& rng,
+                                         const ExecutionContext& ctx) {
+  const RejectionSetup setup = make_setup(log_target, log_proposal);
+  return run_rejection(log_target, log_proposal, setup.proposal_probs,
+                       setup.log_zt, setup.log_zp, log_cap, machines, rng,
+                       ctx);
 }
 
 }  // namespace pardpp

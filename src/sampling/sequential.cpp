@@ -4,27 +4,33 @@
 
 namespace pardpp {
 
-SampleResult sample_sequential(const CountingOracle& mu, RandomStream& rng,
-                               PramLedger* ledger) {
+SampleResult sample_sequential_on(CommittedOracle& state, RandomStream& rng,
+                                  PramLedger* ledger) {
+  check_arg(state.committed_count() == 0,
+            "sample_sequential_on: state not at its base distribution");
   SampleResult result;
-  IndexTracker tracker(mu.ground_size());
-  std::unique_ptr<CountingOracle> current = mu.clone();
-  while (current->sample_size() > 0) {
-    const std::size_t m = current->ground_size();
+  IndexTracker tracker(state.ground_size());
+  while (state.sample_size() > 0) {
+    const std::size_t m = state.ground_size();
     // One parallel round: m counting queries evaluate all marginals.
-    const std::vector<double> p = current->marginals();
     charge_round(ledger, m, m);
     result.diag.rounds += 1;
     result.diag.oracle_calls += m;
-    const int pick = static_cast<int>(rng.categorical(p));
-    result.items.push_back(tracker.original(pick));
-    const std::vector<int> batch = {pick};
-    current = current->condition(batch);
+    const MarginalDraw draw = state.draw_marginal(rng);
+    result.items.push_back(tracker.original(draw.index));
+    const std::vector<int> batch = {draw.index};
+    state.commit(batch, draw.log_marginal);
     tracker.remove(batch);
   }
   std::sort(result.items.begin(), result.items.end());
   if (ledger != nullptr) result.diag.pram = ledger->stats();
   return result;
+}
+
+SampleResult sample_sequential(const CountingOracle& mu, RandomStream& rng,
+                               PramLedger* ledger) {
+  const auto state = mu.make_committed();
+  return sample_sequential_on(*state, rng, ledger);
 }
 
 }  // namespace pardpp

@@ -1,0 +1,62 @@
+#include "sampling/session.h"
+
+#include "sampling/sequential.h"
+
+namespace pardpp {
+
+SamplerSession::SamplerSession(const CountingOracle& base,
+                               SessionOptions options)
+    : base_(&base), options_(options) {
+  base_->prepare_concurrent();
+}
+
+std::unique_ptr<CommittedOracle> SamplerSession::make_state() const {
+  return options_.use_commit ? base_->make_committed()
+                             : make_condition_reference(*base_);
+}
+
+SampleResult SamplerSession::run(CommittedOracle& state,
+                                 RandomStream& rng) const {
+  // Draws dispatched onto pool workers must not fan out again (and the
+  // nesting guard would degenerate them anyway): the round loops run on a
+  // serial context, cross-sample concurrency being the session's axis.
+  const ExecutionContext serial = ExecutionContext::serial();
+  switch (options_.kind) {
+    case SamplerKind::kBatched:
+      return sample_batched_on(state, rng, serial, options_.batched);
+    case SamplerKind::kEntropic:
+      return sample_entropic_on(state, rng, serial, options_.entropic);
+    case SamplerKind::kSequential:
+      break;
+  }
+  return sample_sequential_on(state, rng);
+}
+
+SampleResult SamplerSession::draw(RandomStream& rng) {
+  if (serial_state_ == nullptr) {
+    serial_state_ = make_state();
+  } else {
+    serial_state_->reset();
+  }
+  return run(*serial_state_, rng);
+}
+
+std::vector<SampleResult> SamplerSession::draw_many(
+    std::size_t count, RandomStream& rng, const ExecutionContext& ctx) {
+  std::vector<SampleResult> out(count);
+  const MachineStreams streams(rng);
+  ctx.for_each_chunk(
+      0, count,
+      [&](std::size_t lo, std::size_t hi) {
+        const auto state = make_state();
+        for (std::size_t i = lo; i < hi; ++i) {
+          if (i != lo) state->reset();
+          RandomStream stream = streams.stream(i);
+          out[i] = run(*state, stream);
+        }
+      },
+      /*grain=*/1);
+  return out;
+}
+
+}  // namespace pardpp

@@ -1,0 +1,86 @@
+// SamplerSession — many draws from one distribution, preprocessing paid
+// once (DESIGN.md §2 convention 7).
+//
+// The per-sample entry points (sample_sequential & co.) rebuild the base
+// oracle's spectral preprocessing on every call: they clone the oracle,
+// whose lazy caches start cold. A session inverts the ownership: the base
+// oracle is primed once at construction, every draw runs the sampler's
+// round loop on a long-lived CommittedOracle that reads those shared
+// caches at round 0 and maintains its own conditional state incrementally
+// afterwards, and `draw_many` dispatches independent draws concurrently
+// on the ExecutionContext's pool (one committed state per chunk, one
+// deterministic stream per sample index) — the cross-sample throughput
+// axis, on top of the per-round commit-path savings.
+//
+// Determinism: identical seed ⇒ identical sample sequence at every pool
+// size (draw i consumes the stream forked for index i, never a worker's).
+// With `use_commit = false` the session runs the condition() reference
+// path instead — per-round conditioned oracles, per-draw base
+// preprocessing — which draws the identical samples from the same seed:
+// the bit-identity contract bench_throughput and the statistical harness
+// pin down.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "distributions/oracle.h"
+#include "parallel/execution.h"
+#include "sampling/batched.h"
+#include "sampling/diagnostics.h"
+#include "sampling/entropic.h"
+#include "support/random.h"
+
+namespace pardpp {
+
+enum class SamplerKind {
+  kSequential,  ///< JVV86 reduction, depth k
+  kBatched,     ///< Algorithm 1 / Theorem 10, depth ~ sqrt(k)
+  kEntropic,    ///< Theorem 29 batched rejection
+};
+
+struct SessionOptions {
+  SamplerKind kind = SamplerKind::kSequential;
+  /// false = run the condition() reference path (fresh conditioned oracle
+  /// per accepted round, fresh preprocessing per draw) — the baseline the
+  /// commit path is benchmarked and bit-compared against.
+  bool use_commit = true;
+  BatchedOptions batched;
+  EntropicOptions entropic;
+};
+
+class SamplerSession {
+ public:
+  /// `base` must outlive the session. Construction primes the base
+  /// oracle's lazy caches (prepare_concurrent), so concurrent draws read
+  /// them read-only.
+  explicit SamplerSession(const CountingOracle& base,
+                          SessionOptions options = {});
+
+  /// One draw on the session's serial state (reset + run; scratch and the
+  /// base preprocessing are reused across calls).
+  [[nodiscard]] SampleResult draw(RandomStream& rng);
+
+  /// `count` independent draws, dispatched in chunks on the context's
+  /// pool with one committed state per chunk. Draw i consumes a private
+  /// stream forked from `rng` by index (the caller's stream advances by
+  /// exactly one split), so the result sequence is a function of the seed
+  /// alone — never of the pool size or the chunk layout.
+  [[nodiscard]] std::vector<SampleResult> draw_many(
+      std::size_t count, RandomStream& rng, const ExecutionContext& ctx);
+
+  [[nodiscard]] const SessionOptions& options() const noexcept {
+    return options_;
+  }
+
+ private:
+  [[nodiscard]] std::unique_ptr<CommittedOracle> make_state() const;
+  [[nodiscard]] SampleResult run(CommittedOracle& state,
+                                 RandomStream& rng) const;
+
+  const CountingOracle* base_;
+  SessionOptions options_;
+  std::unique_ptr<CommittedOracle> serial_state_;
+};
+
+}  // namespace pardpp

@@ -12,11 +12,24 @@
 #include <cmath>
 #include <limits>
 #include <span>
+#include <vector>
 
 namespace pardpp {
 
 /// log(0): the additive identity of log-domain accumulation.
 inline constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+
+/// Elementwise log of a probability vector, with exact kNegInf for zero
+/// entries — the shared derivation of every oracle's singleton
+/// log-marginal cache (the p_i = 0 convention must not drift between the
+/// base oracles and their commit-path states).
+[[nodiscard]] inline std::vector<double> log_probabilities(
+    std::span<const double> p) {
+  std::vector<double> lp(p.size(), kNegInf);
+  for (std::size_t i = 0; i < p.size(); ++i)
+    if (p[i] > 0.0) lp[i] = std::log(p[i]);
+  return lp;
+}
 
 /// Returns log(exp(a) + exp(b)) without leaving the log domain.
 [[nodiscard]] inline double log_add(double a, double b) noexcept {

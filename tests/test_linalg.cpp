@@ -94,6 +94,114 @@ TEST(Matrix, ApplyMatchesProduct) {
   }
 }
 
+TEST(Matrix, MultiplyTransposedBMatchesNaive) {
+  RandomStream rng(771001);
+  const Matrix a = random_gaussian(37, 19, rng);
+  const Matrix b = random_gaussian(53, 19, rng);
+  const Matrix blocked = multiply_transposed_b(a, b);
+  const Matrix naive = a * b.transpose();
+  ASSERT_EQ(blocked.rows(), naive.rows());
+  ASSERT_EQ(blocked.cols(), naive.cols());
+  for (std::size_t i = 0; i < naive.rows(); ++i)
+    for (std::size_t j = 0; j < naive.cols(); ++j)
+      EXPECT_NEAR(blocked(i, j), naive(i, j), 1e-12);
+}
+
+TEST(Matrix, MultiplyTransposedBShapeMismatchThrows) {
+  const Matrix a(3, 4);
+  const Matrix b(5, 3);
+  EXPECT_THROW((void)multiply_transposed_b(a, b), InvalidArgument);
+}
+
+TEST(Matrix, SymRankKUpdateMatchesNaive) {
+  RandomStream rng(771002);
+  const std::size_t r = 21;
+  const std::size_t n = 33;
+  const Matrix y = random_gaussian(r, n, rng);
+  Matrix c = random_psd(n, n, rng, 1e-3);
+  Matrix want = c;
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (std::size_t p = 0; p < r; ++p) acc += y(p, i) * y(p, j);
+      want(i, j) -= acc;
+    }
+  sym_rank_k_update(c, -1.0, y.flat().data(), r, n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j)
+      EXPECT_NEAR(c(i, j), want(i, j), 1e-10) << i << "," << j;
+  // The result is exactly symmetric (upper triangle mirrored).
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) EXPECT_EQ(c(i, j), c(j, i));
+}
+
+TEST(IncrementalCholesky, CommittedPrefixSurvivesTruncate) {
+  RandomStream rng(771003);
+  const Matrix a = random_psd(8, 8, rng, 1e-3);
+  IncrementalCholesky chol(8);
+  double max_diag = 0.0;
+  for (std::size_t i = 0; i < 8; ++i)
+    max_diag = std::max(max_diag, std::abs(a(i, i)));
+  chol.clear(max_diag);
+  std::vector<double> row;
+  const auto append_row = [&](std::size_t r) {
+    row.resize(r + 1);
+    for (std::size_t c = 0; c <= r; ++c) row[c] = a(r, c);
+    ASSERT_TRUE(chol.append(row));
+  };
+  append_row(0);
+  append_row(1);
+  append_row(2);
+  chol.commit_prefix();
+  EXPECT_EQ(chol.committed_size(), 3u);
+  const double committed_log_det = chol.log_det();
+  // Speculative rows beyond the committed prefix pop back off...
+  append_row(3);
+  append_row(4);
+  chol.truncate();
+  EXPECT_EQ(chol.size(), 3u);
+  EXPECT_DOUBLE_EQ(chol.log_det(), committed_log_det);
+  // ...and popping below the committed floor is rejected.
+  EXPECT_THROW(chol.truncate(2), InvalidArgument);
+  // clear() resets the floor.
+  chol.clear(max_diag);
+  EXPECT_EQ(chol.committed_size(), 0u);
+  append_row(0);
+  chol.truncate(0);
+  EXPECT_EQ(chol.size(), 0u);
+}
+
+TEST(Schur, ConditionEnsembleSymIntoMatchesFromScratch) {
+  RandomStream rng(771004);
+  const Matrix l = random_psd(9, 9, rng, 1e-3);
+  const std::vector<int> t = {5, 1, 7};
+  const auto want = condition_ensemble(l, t, /*symmetric=*/true);
+  IncrementalCholesky chol;
+  std::vector<double> y;
+  std::vector<int> keep;
+  Matrix reduced;
+  condition_ensemble_sym_into(l, t, chol, y, keep, reduced);
+  ASSERT_EQ(reduced.rows(), want.reduced.rows());
+  for (std::size_t i = 0; i < reduced.rows(); ++i)
+    for (std::size_t j = 0; j < reduced.cols(); ++j)
+      EXPECT_NEAR(reduced(i, j), want.reduced(i, j), 1e-10);
+  EXPECT_NEAR(chol.log_det(), want.log_abs_det_elim, 1e-10);
+}
+
+TEST(Schur, ConditionEnsembleSymIntoRejectsNullEvent) {
+  // A rank-1 ensemble cannot be conditioned on two elements.
+  Matrix l(3, 3);
+  for (std::size_t i = 0; i < 3; ++i)
+    for (std::size_t j = 0; j < 3; ++j) l(i, j) = 1.0;
+  const std::vector<int> t = {0, 1};
+  IncrementalCholesky chol;
+  std::vector<double> y;
+  std::vector<int> keep;
+  Matrix reduced;
+  EXPECT_THROW(condition_ensemble_sym_into(l, t, chol, y, keep, reduced),
+               NumericalError);
+}
+
 TEST(Matrix, ShapeMismatchThrows) {
   Matrix a(2, 3);
   Matrix b(2, 2);

@@ -453,6 +453,182 @@ TEST(ConditionalStateFuzz, QueryManyMatchesSerialLoopAcrossChunkLayouts) {
   }
 }
 
+// ---- CommittedOracle: incremental commit path vs condition() chain ----
+
+// Picks a random batch of the given size with P[batch ⊆ S] > 0 under
+// `oracle` (bounded retries, then falls back to a singleton of maximal
+// marginal), so commits never land on probability-zero events.
+std::vector<int> random_feasible_batch(const CountingOracle& oracle,
+                                       std::size_t size, RandomStream& rng) {
+  const std::size_t n = oracle.ground_size();
+  for (int attempt = 0; attempt < 24; ++attempt) {
+    auto batch = random_subset(n, size, rng);
+    if (oracle.log_joint_marginal(batch) != kNegInf) return batch;
+  }
+  const auto p = oracle.marginals();
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < p.size(); ++i)
+    if (p[i] > p[best]) best = i;
+  return {static_cast<int>(best)};
+}
+
+// Drives one full run — commit() on the incremental state, condition()
+// on the reference chain — and pins the two conditionals against each
+// other after every accepted round: sizes, marginal vectors, random joint
+// queries (direct and through a ConditionalState), and the committed-mass
+// diagnostic against the base oracle's from-scratch resolve.
+void expect_commit_matches_condition(const CountingOracle& base,
+                                     RandomStream& rng) {
+  base.prepare_concurrent();
+  const auto committed = base.make_committed();
+  const auto reference = make_condition_reference(base);
+  IndexTracker tracker(base.ground_size());
+  std::vector<int> committed_originals;
+  while (committed->sample_size() > 0) {
+    ASSERT_EQ(committed->sample_size(), reference->sample_size());
+    ASSERT_EQ(committed->ground_size(), reference->ground_size());
+    const auto p_commit = committed->marginals();
+    const auto p_ref = reference->marginals();
+    ASSERT_EQ(p_commit.size(), p_ref.size());
+    for (std::size_t i = 0; i < p_ref.size(); ++i)
+      EXPECT_NEAR(p_commit[i], p_ref[i], 1e-10) << base.name() << " i=" << i;
+    const std::size_t k = committed->sample_size();
+    const std::size_t m = committed->ground_size();
+    const auto state = committed->make_conditional_state();
+    for (int q = 0; q < 8; ++q) {
+      const auto t = random_subset(
+          m, static_cast<std::size_t>(rng.uniform_index(k + 1)), rng);
+      const double want = reference->log_joint_marginal(t);
+      const double direct = committed->log_joint_marginal(t);
+      const double incremental = state->log_joint(t);
+      if (want == kNegInf) {
+        EXPECT_EQ(direct, kNegInf) << base.name();
+        EXPECT_EQ(incremental, kNegInf) << base.name();
+        continue;
+      }
+      EXPECT_NEAR(direct, want, 1e-10) << base.name() << " |T|=" << t.size();
+      EXPECT_NEAR(incremental, want, 1e-10)
+          << base.name() << " |T|=" << t.size();
+    }
+    // Commit a feasible batch on both paths, handing the commit the
+    // accepted trial's counting answer like the samplers do.
+    const std::size_t batch_size =
+        std::min<std::size_t>(1 + rng.uniform_index(2), k);
+    const auto batch = random_feasible_batch(*reference, batch_size, rng);
+    const double log_joint = reference->log_joint_marginal(batch);
+    committed->commit(batch, log_joint);
+    reference->commit(batch, log_joint);
+    for (const int b : tracker.originals(batch))
+      committed_originals.push_back(b);
+    tracker.remove(batch);
+    EXPECT_EQ(committed->committed_count(), reference->committed_count());
+    // The committed-mass diagnostic (families that track it): the run's
+    // prefix mass must match the base oracle's from-scratch resolve.
+    const double mass = committed->log_committed_mass();
+    if (!std::isnan(mass)) {
+      EXPECT_NEAR(mass, base.log_joint_marginal(committed_originals), 1e-9)
+          << base.name() << " committed=" << committed->committed_count();
+    }
+  }
+  // reset() rewinds to the base distribution.
+  committed->reset();
+  EXPECT_EQ(committed->committed_count(), 0u);
+  EXPECT_EQ(committed->ground_size(), base.ground_size());
+  EXPECT_EQ(committed->sample_size(), base.sample_size());
+  const auto p_reset = committed->marginals();
+  const auto p_base = base.marginals();
+  for (std::size_t i = 0; i < p_base.size(); ++i)
+    EXPECT_NEAR(p_reset[i], p_base[i], 1e-12);
+}
+
+TEST(CommittedOracleFuzz, SymmetricCommitMatchesCondition) {
+  RandomStream rng(515201);
+  for (int round = 0; round < 6; ++round) {
+    const std::size_t n = 6 + static_cast<std::size_t>(rng.uniform_index(5));
+    const std::size_t k =
+        2 + static_cast<std::size_t>(rng.uniform_index(n - 2));
+    const Matrix l = random_psd(n, n, rng, 1e-3);
+    const SymmetricKdppOracle oracle(l, k);
+    expect_commit_matches_condition(oracle, rng);
+  }
+}
+
+TEST(CommittedOracleFuzz, LowRankCommitMatchesCondition) {
+  RandomStream rng(515202);
+  for (int round = 0; round < 6; ++round) {
+    const std::size_t n = 8 + static_cast<std::size_t>(rng.uniform_index(9));
+    const std::size_t d = 4 + static_cast<std::size_t>(rng.uniform_index(4));
+    const std::size_t k =
+        2 + static_cast<std::size_t>(rng.uniform_index(d - 2));
+    const Matrix features = random_gaussian(n, d, rng);
+    const FeatureKdppOracle oracle(features, k);
+    expect_commit_matches_condition(oracle, rng);
+  }
+}
+
+TEST(CommittedOracleFuzz, NonsymmetricCommitMatchesCondition) {
+  RandomStream rng(515203);
+  for (int round = 0; round < 4; ++round) {
+    const std::size_t n = 6 + static_cast<std::size_t>(rng.uniform_index(3));
+    const std::size_t k =
+        2 + static_cast<std::size_t>(rng.uniform_index(3));
+    const Matrix l = random_npsd(n, rng, 0.6);
+    const GeneralDppOracle oracle(l, k);
+    expect_commit_matches_condition(oracle, rng);
+  }
+}
+
+TEST(CommittedOracleFuzz, PartitionCommitSeedsThePartitionCoefficient) {
+  // Partition-DPP commit: the seeded partition coefficient must agree
+  // with a from-scratch conditioned oracle's grid sweep.
+  RandomStream rng(515204);
+  const std::size_t n = 8;
+  const Matrix l = random_psd(n, n, rng, 1e-3);
+  std::vector<int> part_of = {0, 0, 0, 1, 1, 1, 1, 0};
+  std::vector<int> counts = {2, 2};
+  const GeneralDppOracle oracle(l, part_of, counts);
+  expect_commit_matches_condition(oracle, rng);
+}
+
+TEST(CommittedOracleFuzz, CommitOnNullEventThrowsAndLeavesStateIntact) {
+  // Two identical items: committing both together is a probability-zero
+  // event. The commit must throw without mutating the state — a caught
+  // failure may not poison later rounds (the condition() reference is
+  // strongly exception-safe here, so the commit path must be too).
+  RandomStream rng(515206);
+  Matrix b = random_gaussian(5, 2, rng);
+  for (std::size_t c = 0; c < 2; ++c) b(1, c) = b(0, c);
+  const Matrix l = multiply_transposed_b(b, b);
+  const SymmetricKdppOracle oracle(l, 2, /*validate=*/false);
+  const auto committed = oracle.make_committed();
+  const std::vector<int> null_batch = {0, 1};
+  EXPECT_THROW(committed->commit(null_batch, kNegInf), NumericalError);
+  EXPECT_EQ(committed->committed_count(), 0u);
+  const auto p_after = committed->marginals();
+  const auto p_base = oracle.marginals();
+  for (std::size_t i = 0; i < p_base.size(); ++i)
+    EXPECT_NEAR(p_after[i], p_base[i], 1e-12);
+  // A feasible commit still works and stays consistent with condition().
+  const std::vector<int> batch = {0, 3};
+  ASSERT_NE(oracle.log_joint_marginal(batch), kNegInf);
+  committed->commit(batch, oracle.log_joint_marginal(batch));
+  EXPECT_NEAR(committed->log_committed_mass(),
+              oracle.log_joint_marginal(batch), 1e-9);
+  const auto conditioned = oracle.condition(batch);
+  const auto p_commit = committed->marginals();
+  const auto p_want = conditioned->marginals();
+  for (std::size_t i = 0; i < p_want.size(); ++i)
+    EXPECT_NEAR(p_commit[i], p_want[i], 1e-10);
+}
+
+TEST(CommittedOracleFuzz, DefaultWrapperCoversCombinatorialOracles) {
+  // Families without an incremental commit ride the condition() wrapper:
+  // behaviour must match a hand-rolled condition() chain exactly.
+  RandomStream rng(515205);
+  const UniformKSubsetOracle oracle(9, 4);
+  expect_commit_matches_condition(oracle, rng);
+}
+
 // ---- Subdivision wrapper (Definition 30 / Prop. 32) ----
 
 TEST(Subdivision, MarginalsAndJointsReduceToBase) {

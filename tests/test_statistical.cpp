@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "dpp/ensemble.h"
+#include "dpp/feature_oracle.h"
 #include "dpp/symmetric_oracle.h"
 #include "linalg/factory.h"
 #include "linalg/lu.h"
@@ -25,6 +26,7 @@
 #include "sampling/filtering.h"
 #include "sampling/rejection.h"
 #include "sampling/sequential.h"
+#include "sampling/session.h"
 #include "support/random.h"
 #include "test_util.h"
 
@@ -159,6 +161,115 @@ TEST_F(KdppSamplerStatTest, EntropicMatchesEnumeration) {
   expect_matches(samples, failures);
 }
 
+// ---- SamplerSession: the commit path, at distribution scale ----
+
+// Draws `trials` samples through SamplerSession::draw_many at every pool
+// size in {1, hw} and asserts (a) the sequences are identical across pool
+// sizes, (b) they are identical to the condition() reference session's
+// sequence from the same seed — the commit path's bit-identity contract —
+// and (c) the commit-path empirical distribution passes the chi-square /
+// TV harness.
+class SessionCommitStatTest : public KdppSamplerStatTest {
+ protected:
+  void run_kind(SamplerKind kind, std::uint64_t seed) {
+    SessionOptions commit_options;
+    commit_options.kind = kind;
+    commit_options.batched.failure_prob = 1e-6;
+    commit_options.entropic.failure_prob = 1e-6;
+    SessionOptions reference_options = commit_options;
+    reference_options.use_commit = false;
+
+    SamplerSession commit_session(*oracle_, commit_options);
+    SamplerSession reference_session(*oracle_, reference_options);
+
+    std::vector<std::vector<std::vector<int>>> per_pool;
+    for (const std::size_t threads : stat_pool_sizes()) {
+      ThreadPool pool(threads);
+      const ExecutionContext ctx(&pool, nullptr);
+      RandomStream rng(seed);
+      auto results = commit_session.draw_many(
+          static_cast<std::size_t>(kTrials), rng, ctx);
+      std::vector<std::vector<int>> samples;
+      samples.reserve(results.size());
+      for (auto& r : results) samples.push_back(std::move(r.items));
+      per_pool.push_back(std::move(samples));
+    }
+    for (std::size_t p = 1; p < per_pool.size(); ++p)
+      EXPECT_EQ(per_pool[0], per_pool[p]) << "pool size index " << p;
+
+    RandomStream reference_rng(seed);
+    auto reference = reference_session.draw_many(
+        static_cast<std::size_t>(kTrials), reference_rng,
+        ExecutionContext::serial());
+    ASSERT_EQ(reference.size(), per_pool[0].size());
+    for (std::size_t i = 0; i < reference.size(); ++i)
+      ASSERT_EQ(per_pool[0][i], reference[i].items)
+          << "commit path diverged from the condition() reference at draw "
+          << i;
+
+    expect_matches(per_pool[0], /*failures=*/0);
+  }
+};
+
+TEST_F(SessionCommitStatTest, SequentialCommitPath) {
+  run_kind(SamplerKind::kSequential, 92201);
+}
+
+TEST_F(SessionCommitStatTest, BatchedCommitPath) {
+  run_kind(SamplerKind::kBatched, 92202);
+}
+
+TEST_F(SessionCommitStatTest, EntropicCommitPath) {
+  run_kind(SamplerKind::kEntropic, 92203);
+}
+
+TEST(FeatureSessionStatTest, CommitPathMatchesEnumeration) {
+  // The low-rank family's commit path (projected Gram + two-stage draw)
+  // against enumeration of L = B B^T, plus bit-identity against the
+  // condition() reference.
+  RandomStream setup(881003);
+  const std::size_t n = 6;
+  const std::size_t d = 4;
+  const std::size_t k = 2;
+  const Matrix features = random_gaussian(n, d, setup);
+  const Matrix l = multiply_transposed_b(features, features);
+  const FeatureKdppOracle oracle(features, k);
+  const auto dist = testing::exact_distribution(
+      static_cast<int>(n), static_cast<int>(k),
+      [&](std::span<const int> s) {
+        return signed_log_det(l.principal(s)).log_abs;
+      });
+
+  SessionOptions commit_options;
+  SessionOptions reference_options;
+  reference_options.use_commit = false;
+  SamplerSession commit_session(oracle, commit_options);
+  SamplerSession reference_session(oracle, reference_options);
+
+  const std::size_t trials = 2400;
+  std::vector<std::vector<std::vector<int>>> per_pool;
+  for (const std::size_t threads : stat_pool_sizes()) {
+    ThreadPool pool(threads);
+    const ExecutionContext ctx(&pool, nullptr);
+    RandomStream rng(92204);
+    auto results = commit_session.draw_many(trials, rng, ctx);
+    std::vector<std::vector<int>> samples;
+    for (auto& r : results) samples.push_back(std::move(r.items));
+    per_pool.push_back(std::move(samples));
+  }
+  for (std::size_t p = 1; p < per_pool.size(); ++p)
+    EXPECT_EQ(per_pool[0], per_pool[p]);
+  RandomStream reference_rng(92204);
+  auto reference =
+      reference_session.draw_many(trials, reference_rng,
+                                  ExecutionContext::serial());
+  for (std::size_t i = 0; i < reference.size(); ++i)
+    ASSERT_EQ(per_pool[0][i], reference[i].items) << "draw " << i;
+  const auto chi = chi_square_subsets(dist, per_pool[0]);
+  EXPECT_LT(chi.statistic, chi_square_quantile(chi.dof, 4.0));
+  EXPECT_LT(testing::empirical_tv(dist, per_pool[0]), 0.08);
+}
+
 // ---- filtering sampler: unconstrained DPP over all subset sizes ----
 
 TEST(FilteringStatTest, WithinTotalVariationBudget) {
@@ -236,6 +347,27 @@ TEST(RejectionStatTest, MatchesTargetDistribution) {
     statistic += diff * diff / expected;
   }
   EXPECT_LT(statistic, chi_square_quantile(4.0, 4.0));
+}
+
+TEST(RejectionStatTest, FiniteRejectionSessionMatchesOneShotBitExactly) {
+  // The long-lived FiniteRejection state must consume the stream exactly
+  // like the one-shot entry point: same seed, same outcomes, draw by draw.
+  const std::vector<double> target = {std::log(0.35), std::log(0.05),
+                                      std::log(0.25), std::log(0.15),
+                                      std::log(0.20)};
+  const std::vector<double> proposal(5, std::log(0.2));
+  const double cap = std::log(0.35 / 0.2) + 1e-9;
+  const FiniteRejection session(target, proposal, cap);
+  RandomStream session_rng(92205);
+  RandomStream oneshot_rng(92205);
+  for (int i = 0; i < 500; ++i) {
+    const auto reused = session.draw(200, session_rng);
+    const auto oneshot =
+        rejection_sample_finite(target, proposal, cap, 200, oneshot_rng);
+    ASSERT_EQ(reused.value, oneshot.value) << "draw " << i;
+    ASSERT_EQ(reused.proposals_used, oneshot.proposals_used);
+    ASSERT_EQ(reused.overflows, oneshot.overflows);
+  }
 }
 
 }  // namespace
