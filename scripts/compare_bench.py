@@ -1,0 +1,220 @@
+#!/usr/bin/env python3
+"""Perf-trajectory comparator for BENCH_*.json series.
+
+Every bench emits a JSON array of flat records into bench-out/. Records
+are matched between a baseline and a current run by their *identity*
+fields (experiment, family, n, d, k, pool, ...) — everything that is not
+a measurement — and the wall-time measurement fields of matching records
+are compared as ratios:
+
+    ratio = current / baseline
+    ratio > 1 + warn_threshold  -> warning  (::warning in GitHub Actions)
+    ratio > 1 + fail_threshold  -> failure  (exit 1, ::error)
+
+Faster-than-baseline records and records present on only one side are
+reported informationally. `--advisory` downgrades failures to warnings —
+the mode for comparing against the in-repo BENCH_trajectory.json
+snapshot, which is recorded on a different machine class than the CI
+runners.
+
+Snapshot mode (`--write-snapshot FILE DIR`) curates the trajectory file
+tracked in-repo: identity fields plus wall-time measurements, sorted by
+key, so the diff of a PR shows exactly which timings moved.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+# Measurement fields: compared as timings (lower is better) when present.
+TIME_FIELDS = (
+    "wall_ms",
+    "draw_ms",
+    "prime_ms",
+    "full_draw_ms",
+    "full_prime_ms",
+    "condition_baseline_ms",
+)
+
+# Fields that are measurements or run-dependent flags, never identity.
+NON_IDENTITY_FIELDS = set(TIME_FIELDS) | {
+    "samples_per_sec",
+    "speedup",
+    "speedup_vs_condition",
+    "draw_speedup_vs_full",
+    "accept_rate",
+    "chi_square",
+    "dof",
+    "identical",
+    "regression",
+    "full_estimated",
+    "depth",
+    "work",
+    "machines",
+    "rounds",
+    "oracle_calls",
+    "pram_depth",
+    "queries_per_wave",
+    "q_per_wave",
+}
+
+
+def load_records(directory):
+    """-> {(file, identity-key): {field: value}} for all BENCH_*.json."""
+    records = {}
+    if not os.path.isdir(directory):
+        return records
+    for name in sorted(os.listdir(directory)):
+        if not (name.startswith("BENCH_") and name.endswith(".json")):
+            continue
+        path = os.path.join(directory, name)
+        try:
+            with open(path) as handle:
+                series = json.load(handle)
+        except (OSError, json.JSONDecodeError) as error:
+            print(f"::warning::could not parse {path}: {error}")
+            continue
+        for record in series:
+            identity = tuple(
+                sorted(
+                    (field, value)
+                    for field, value in record.items()
+                    if field not in NON_IDENTITY_FIELDS
+                )
+            )
+            records[(name, identity)] = record
+    return records
+
+
+def describe(key):
+    name, identity = key
+    fields = ", ".join(f"{field}={value}" for field, value in identity)
+    return f"{name} [{fields}]"
+
+
+def compare(baseline_dir, current_dir, warn, fail, advisory):
+    baseline = load_records(baseline_dir)
+    current = load_records(current_dir)
+    if not baseline:
+        print(f"no baseline records under {baseline_dir}; nothing to gate")
+        return 0
+    if not current:
+        print(f"::error::no current records under {current_dir}")
+        return 1
+
+    matched = 0
+    warnings = 0
+    failures = 0
+    for key, record in sorted(current.items()):
+        if key not in baseline:
+            print(f"new record (no baseline): {describe(key)}")
+            continue
+        base = baseline[key]
+        for field in TIME_FIELDS:
+            if field not in record or field not in base:
+                continue
+            base_value = float(base[field])
+            cur_value = float(record[field])
+            if base_value <= 0.0:
+                continue
+            matched += 1
+            ratio = cur_value / base_value
+            line = (
+                f"{describe(key)} {field}: {base_value:.3f} -> "
+                f"{cur_value:.3f} ms ({ratio:.2f}x)"
+            )
+            if ratio > 1.0 + fail:
+                failures += 1
+                level = "warning" if advisory else "error"
+                print(f"::{level}::slowdown beyond fail threshold: {line}")
+            elif ratio > 1.0 + warn:
+                warnings += 1
+                print(f"::warning::slowdown: {line}")
+            else:
+                print(f"ok: {line}")
+    for key in sorted(baseline):
+        if key not in current:
+            print(f"baseline record disappeared: {describe(key)}")
+
+    print(
+        f"\ncompared {matched} timings: {warnings} warnings, "
+        f"{failures} beyond the fail threshold"
+        + (" (advisory)" if advisory else "")
+    )
+    return 1 if failures and not advisory else 0
+
+
+def write_snapshot(path, directory):
+    records = load_records(directory)
+    if not records:
+        print(f"::error::no records under {directory} to snapshot")
+        return 1
+    snapshot = []
+    for (name, identity), record in sorted(records.items()):
+        entry = {"file": name}
+        entry.update({field: value for field, value in identity})
+        for field in TIME_FIELDS:
+            if field in record:
+                entry[field] = record[field]
+        snapshot.append(entry)
+    with open(path, "w") as handle:
+        json.dump(snapshot, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {path} ({len(snapshot)} records)")
+    return 0
+
+
+def snapshot_as_baseline(snapshot_path, tmp_dir):
+    """Explodes a trajectory snapshot back into per-file record maps."""
+    with open(snapshot_path) as handle:
+        snapshot = json.load(handle)
+    per_file = {}
+    for entry in snapshot:
+        entry = dict(entry)
+        name = entry.pop("file")
+        per_file.setdefault(name, []).append(entry)
+    os.makedirs(tmp_dir, exist_ok=True)
+    for name, series in per_file.items():
+        with open(os.path.join(tmp_dir, name), "w") as handle:
+            json.dump(series, handle)
+    return tmp_dir
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", nargs="?", help="baseline bench-out dir")
+    parser.add_argument("current", nargs="?", help="current bench-out dir")
+    parser.add_argument("--warn", type=float, default=0.10,
+                        help="warn at > this fractional slowdown")
+    parser.add_argument("--fail", type=float, default=0.25,
+                        help="fail at > this fractional slowdown")
+    parser.add_argument("--advisory", action="store_true",
+                        help="report fail-level slowdowns as warnings only")
+    parser.add_argument("--snapshot", metavar="FILE",
+                        help="use a BENCH_trajectory.json snapshot as the "
+                             "baseline instead of a directory")
+    parser.add_argument("--write-snapshot", nargs=2,
+                        metavar=("FILE", "DIR"),
+                        help="write a curated trajectory snapshot of DIR "
+                             "to FILE and exit")
+    args = parser.parse_args()
+
+    if args.write_snapshot:
+        return write_snapshot(*args.write_snapshot)
+    if args.snapshot:
+        if args.current is None:
+            args.current = args.baseline
+        if args.current is None:
+            parser.error("--snapshot needs a current directory")
+        args.baseline = snapshot_as_baseline(
+            args.snapshot, os.path.join(args.current, ".snapshot-baseline")
+        )
+    if args.baseline is None or args.current is None:
+        parser.error("need baseline and current directories")
+    return compare(args.baseline, args.current, args.warn, args.fail,
+                   args.advisory)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -31,6 +31,21 @@ namespace pardpp {
 class CountingOracle;
 class CommittedOracle;
 
+/// Per-family inputs of the intermediate-sampling (distillation) front
+/// end (DESIGN.md §2 convention 8). `weights` are nonnegative per-item
+/// proposal weights whose diagonal dominates the family's determinantal
+/// mass (the ensemble diagonal: row norms² for the low-rank family,
+/// L_ii for the symmetric family) — restricting with the matching
+/// inverse-weight row scales keeps the restricted ensemble's trace at
+/// exactly sum(weights). `rank_bound` caps the number of nonzero
+/// eigenvalues any restriction can have (the feature dimension d for the
+/// low-rank family, n for dense symmetric). Empty weights = the family
+/// does not support distillation.
+struct DistillationProfile {
+  std::vector<double> weights;
+  std::size_t rank_bound = 0;
+};
+
 /// One exact draw from a conditional's singleton marginals.
 struct MarginalDraw {
   int index = -1;  ///< current-conditional index, distributed as p_i / k
@@ -106,6 +121,37 @@ class CountingOracle {
   /// T removed. Throws if P[T ⊆ S] = 0.
   [[nodiscard]] virtual std::unique_ptr<CountingOracle> condition(
       std::span<const int> t) const = 0;
+
+  /// The same distribution family over the (possibly repeated) ground
+  /// elements `items`, with row j of the restricted ensemble scaled by
+  /// `scales[j]` (empty = all ones): for an L-ensemble family the
+  /// restricted kernel is diag(s) L_items diag(s). Index j of the
+  /// restricted oracle refers to items[j]; repeated items yield parallel
+  /// (hence never co-selected) rows — the construction the distillation
+  /// front end (sampling/intermediate.h) relies on. Default: unsupported.
+  [[nodiscard]] virtual std::unique_ptr<CountingOracle> restrict_to(
+      std::span<const int> items, std::span<const double> scales) const {
+    (void)items;
+    (void)scales;
+    throw InvalidArgument("restrict_to: unsupported for family " + name());
+  }
+
+  /// Per-item weights + rank bound for the distillation front end; empty
+  /// weights (the default) = unsupported. Must not force the full-n
+  /// spectral caches — profiles are read at session-prime time on ground
+  /// sets far too large for an eigendecomposition.
+  [[nodiscard]] virtual DistillationProfile distillation_profile() const {
+    return {};
+  }
+
+  /// log of the family's absolute partition function (log e_k of the
+  /// ensemble spectrum for the determinantal families) — the quantity the
+  /// distillation acceptance ratio compares across restrictions. Returns
+  /// -inf when the restricted ensemble cannot support a size-k sample.
+  /// Throws for families without a canonical absolute normalization.
+  [[nodiscard]] virtual double log_partition() const {
+    throw InvalidArgument("log_partition: not exposed by family " + name());
+  }
 
   [[nodiscard]] virtual std::unique_ptr<CountingOracle> clone() const = 0;
 

@@ -560,6 +560,28 @@ std::unique_ptr<CountingOracle> FeatureKdppOracle::condition(
                                              k_ - t.size());
 }
 
+std::unique_ptr<CountingOracle> FeatureKdppOracle::restrict_to(
+    std::span<const int> items, std::span<const double> scales) const {
+  check_arg(items.size() >= k_, "restrict_to: fewer items than k");
+  return std::make_unique<FeatureKdppOracle>(
+      gather_scaled_rows(features_, items, scales), k_);
+}
+
+DistillationProfile FeatureKdppOracle::distillation_profile() const {
+  DistillationProfile profile;
+  profile.rank_bound = features_.cols();
+  profile.weights.resize(features_.rows());
+  for (std::size_t i = 0; i < features_.rows(); ++i) {
+    const auto row = features_.row(i);
+    double acc = 0.0;
+    for (std::size_t c = 0; c < features_.cols(); ++c) acc += row[c] * row[c];
+    profile.weights[i] = acc;
+  }
+  return profile;
+}
+
+double FeatureKdppOracle::log_partition() const { return esp().log_e(k_); }
+
 std::unique_ptr<CountingOracle> FeatureKdppOracle::clone() const {
   return std::make_unique<FeatureKdppOracle>(features_, k_);
 }

@@ -39,6 +39,18 @@ class FeatureKdppOracle final : public CountingOracle {
   [[nodiscard]] std::vector<double> marginals() const override;
   [[nodiscard]] std::unique_ptr<CountingOracle> condition(
       std::span<const int> t) const override;
+  /// Restriction to (possibly repeated) items with per-row scales: one
+  /// gather_scaled_rows pass, then the same family on the m x d result —
+  /// the restricted Gram is rebuilt by the blocked sym_rank_k_update
+  /// kernel, never from the full-n caches.
+  [[nodiscard]] std::unique_ptr<CountingOracle> restrict_to(
+      std::span<const int> items,
+      std::span<const double> scales) const override;
+  /// weights[i] = |b_i|² (the ensemble diagonal), rank_bound = d. One
+  /// O(n d) pass; does not force the full-n eigendecomposition.
+  [[nodiscard]] DistillationProfile distillation_profile() const override;
+  /// log e_k of the Gram spectrum.
+  [[nodiscard]] double log_partition() const override;
   [[nodiscard]] std::unique_ptr<CountingOracle> clone() const override;
   [[nodiscard]] std::string name() const override { return "feature-kdpp"; }
   void prepare_concurrent() const override;

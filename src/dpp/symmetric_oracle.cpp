@@ -500,6 +500,39 @@ std::unique_ptr<CountingOracle> SymmetricKdppOracle::condition(
                                                /*validate=*/false);
 }
 
+std::unique_ptr<CountingOracle> SymmetricKdppOracle::restrict_to(
+    std::span<const int> items, std::span<const double> scales) const {
+  check_arg(items.size() >= k_, "restrict_to: fewer items than k");
+  check_arg(scales.empty() || scales.size() == items.size(),
+            "restrict_to: scales/items size mismatch");
+  const std::size_t m = items.size();
+  for (const int item : items)
+    check_arg(item >= 0 && static_cast<std::size_t>(item) < l_.rows(),
+              "restrict_to: index out of range");
+  Matrix sub(m, m);
+  for (std::size_t a = 0; a < m; ++a) {
+    const double sa = scales.empty() ? 1.0 : scales[a];
+    for (std::size_t b = a; b < m; ++b) {
+      const double sb = scales.empty() ? 1.0 : scales[b];
+      const double v = sa * sb *
+                       l_(static_cast<std::size_t>(items[a]),
+                          static_cast<std::size_t>(items[b]));
+      sub(a, b) = v;
+      sub(b, a) = v;
+    }
+  }
+  return std::make_unique<SymmetricKdppOracle>(std::move(sub), k_,
+                                               /*validate=*/false);
+}
+
+DistillationProfile SymmetricKdppOracle::distillation_profile() const {
+  DistillationProfile profile;
+  profile.rank_bound = l_.rows();
+  profile.weights.resize(l_.rows());
+  for (std::size_t i = 0; i < l_.rows(); ++i) profile.weights[i] = l_(i, i);
+  return profile;
+}
+
 std::unique_ptr<CountingOracle> SymmetricKdppOracle::clone() const {
   return std::make_unique<SymmetricKdppOracle>(l_, k_, /*validate=*/false);
 }

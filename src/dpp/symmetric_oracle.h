@@ -38,6 +38,15 @@ class SymmetricKdppOracle final : public CountingOracle {
   [[nodiscard]] std::vector<double> marginals() const override;
   [[nodiscard]] std::unique_ptr<CountingOracle> condition(
       std::span<const int> t) const override;
+  /// Restriction to (possibly repeated) items with per-row scales:
+  /// gathers the principal block and scales it symmetrically,
+  /// diag(s) L_items diag(s) — PSD by construction, so validation is
+  /// skipped.
+  [[nodiscard]] std::unique_ptr<CountingOracle> restrict_to(
+      std::span<const int> items,
+      std::span<const double> scales) const override;
+  /// weights[i] = L_ii, rank_bound = n. One pass over the diagonal.
+  [[nodiscard]] DistillationProfile distillation_profile() const override;
   [[nodiscard]] std::unique_ptr<CountingOracle> clone() const override;
   [[nodiscard]] std::string name() const override {
     return "symmetric-kdpp";
@@ -58,7 +67,7 @@ class SymmetricKdppOracle final : public CountingOracle {
   [[nodiscard]] const Matrix& ensemble() const noexcept { return l_; }
 
   /// log Z = log e_k(lambda).
-  [[nodiscard]] double log_partition() const;
+  [[nodiscard]] double log_partition() const override;
 
  private:
   class State;

@@ -39,6 +39,23 @@ LowRankEigen eigen_from_features(const Matrix& b, double rank_tol) {
   return out;
 }
 
+Matrix gather_scaled_rows(const Matrix& b, std::span<const int> items,
+                          std::span<const double> scales) {
+  check_arg(scales.empty() || scales.size() == items.size(),
+            "gather_scaled_rows: scales/items size mismatch");
+  const std::size_t d = b.cols();
+  Matrix out(items.size(), d);
+  for (std::size_t j = 0; j < items.size(); ++j) {
+    check_arg(items[j] >= 0 && static_cast<std::size_t>(items[j]) < b.rows(),
+              "gather_scaled_rows: index out of range");
+    const auto src = b.row(static_cast<std::size_t>(items[j]));
+    const double s = scales.empty() ? 1.0 : scales[j];
+    double* dst = out.row(j).data();
+    for (std::size_t c = 0; c < d; ++c) dst[c] = s * src[c];
+  }
+  return out;
+}
+
 void orthonormalize_feature_rows(const Matrix& b, std::span<const int> t,
                                  std::vector<double>& q) {
   const std::size_t d = b.cols();

@@ -34,6 +34,17 @@ struct LowRankEigen {
 [[nodiscard]] Matrix condition_features(const Matrix& b,
                                         std::span<const int> t);
 
+/// Restricted-ensemble assembly: the |items| x d matrix whose row j is
+/// scales[j] * B.row(items[j]) (scales empty = all ones). Items may
+/// repeat or reorder — repeated items produce parallel rows, which is
+/// exactly what the distillation front end needs (parallel rows have a
+/// singular Gram block, so a k-DPP on the gathered matrix never selects
+/// two copies of one item). One O(|items| d) gather pass; no part of B's
+/// spectral preprocessing is touched.
+[[nodiscard]] Matrix gather_scaled_rows(const Matrix& b,
+                                        std::span<const int> items,
+                                        std::span<const double> scales);
+
 /// Orthonormal basis of the rows B_T by two-pass modified Gram-Schmidt,
 /// written as |T| rows of length B.cols() into `q` (resized). This is
 /// *the* feature-space null-event detector — `condition_features` and the

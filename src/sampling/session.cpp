@@ -7,6 +7,14 @@ namespace pardpp {
 SamplerSession::SamplerSession(const CountingOracle& base,
                                SessionOptions options)
     : base_(&base), options_(options) {
+  if (options_.distill.enabled) {
+    // The distillation plan is the whole point of the front end: an O(n)
+    // pass over the ensemble diagonal instead of the full-n spectral
+    // preprocessing, which is infeasible at the ground sizes this path
+    // serves. The base oracle's caches stay cold.
+    plan_ = std::make_unique<DistillationPlan>(base, options_.distill);
+    return;
+  }
   base_->prepare_concurrent();
 }
 
@@ -32,7 +40,22 @@ SampleResult SamplerSession::run(CommittedOracle& state,
   return sample_sequential_on(state, rng);
 }
 
+SampleResult SamplerSession::draw_distilled(RandomStream& rng) const {
+  // Fresh inner state per accepted pool: the restricted oracle lives only
+  // for this draw, and use_commit picks the same commit-vs-reference
+  // dispatch as the full-n path — with identical per-family protocols,
+  // so the distilled bit-identity contract carries over.
+  return plan_->draw(rng, [this](const CountingOracle& restricted,
+                                 RandomStream& inner_rng) {
+    const auto state = options_.use_commit
+                           ? restricted.make_committed()
+                           : make_condition_reference(restricted);
+    return run(*state, inner_rng);
+  });
+}
+
 SampleResult SamplerSession::draw(RandomStream& rng) {
+  if (plan_ != nullptr) return draw_distilled(rng);
   if (serial_state_ == nullptr) {
     serial_state_ = make_state();
   } else {
@@ -48,10 +71,14 @@ std::vector<SampleResult> SamplerSession::draw_many(
   ctx.for_each_chunk(
       0, count,
       [&](std::size_t lo, std::size_t hi) {
-        const auto state = make_state();
+        const auto state = plan_ != nullptr ? nullptr : make_state();
         for (std::size_t i = lo; i < hi; ++i) {
-          if (i != lo) state->reset();
           RandomStream stream = streams.stream(i);
+          if (plan_ != nullptr) {
+            out[i] = draw_distilled(stream);
+            continue;
+          }
+          if (i != lo) state->reset();
           out[i] = run(*state, stream);
         }
       },

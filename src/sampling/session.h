@@ -29,6 +29,7 @@
 #include "sampling/batched.h"
 #include "sampling/diagnostics.h"
 #include "sampling/entropic.h"
+#include "sampling/intermediate.h"
 #include "support/random.h"
 
 namespace pardpp {
@@ -45,6 +46,14 @@ struct SessionOptions {
   /// per accepted round, fresh preprocessing per draw) — the baseline the
   /// commit path is benchmarked and bit-compared against.
   bool use_commit = true;
+  /// Opt-in intermediate-sampling front end (DESIGN.md §2 convention 8):
+  /// each draw distills the ground set to a small candidate pool and runs
+  /// `kind` on the restriction, so per-draw cost is independent of n.
+  /// With distillation the session primes the O(n) distillation plan
+  /// instead of the base oracle's full-n spectral caches; `use_commit`
+  /// still selects commit vs condition() for the inner run, and both
+  /// paths draw bit-identical samples from one seed.
+  DistillOptions distill;
   BatchedOptions batched;
   EntropicOptions entropic;
 };
@@ -77,10 +86,12 @@ class SamplerSession {
   [[nodiscard]] std::unique_ptr<CommittedOracle> make_state() const;
   [[nodiscard]] SampleResult run(CommittedOracle& state,
                                  RandomStream& rng) const;
+  [[nodiscard]] SampleResult draw_distilled(RandomStream& rng) const;
 
   const CountingOracle* base_;
   SessionOptions options_;
   std::unique_ptr<CommittedOracle> serial_state_;
+  std::unique_ptr<DistillationPlan> plan_;  // non-null iff distill.enabled
 };
 
 }  // namespace pardpp
