@@ -45,6 +45,12 @@ std::vector<std::vector<int>> items_of(std::vector<SampleResult> results) {
   return out;
 }
 
+std::size_t refreshes_of(const std::vector<SampleResult>& results) {
+  std::size_t total = 0;
+  for (const auto& r : results) total += r.diag.spectral_refreshes;
+  return total;
+}
+
 void run_config(const CountingOracle& oracle, const ThroughputConfig& config,
                 JsonSeries& json, bool& any_regression,
                 bool& any_below_target) {
@@ -82,6 +88,7 @@ void run_config(const CountingOracle& oracle, const ThroughputConfig& config,
     pools.push_back(std::make_unique<ThreadPool>(pool_size));
   std::vector<double> wall_ms(sizes.size(), 0.0);
   std::vector<std::vector<std::vector<int>>> items(sizes.size());
+  std::vector<std::size_t> refreshes(sizes.size(), 0);
   for (std::size_t p = 0; p < sizes.size(); ++p) {
     const ScopedLinalgPool linalg_guard(pools[p].get());
     const ExecutionContext ctx(pools[p].get(), nullptr);
@@ -97,12 +104,15 @@ void run_config(const CountingOracle& oracle, const ThroughputConfig& config,
       auto results = commit_session.draw_many(config.samples, rng, ctx);
       const double ms = timer.millis();
       if (r == 0 || ms < wall_ms[p]) wall_ms[p] = ms;
-      if (r == 0) items[p] = items_of(std::move(results));
+      if (r == 0) {
+        refreshes[p] = refreshes_of(results);
+        items[p] = items_of(std::move(results));
+      }
     }
   }
 
   Table table({"pool", "wall_ms", "samples_per_sec", "vs_pool1",
-               "vs_condition", "identical"});
+               "vs_condition", "refreshes", "identical"});
   for (std::size_t p = 0; p < sizes.size(); ++p) {
     const std::size_t pool_size = sizes[p];
     const bool identical =
@@ -113,16 +123,20 @@ void run_config(const CountingOracle& oracle, const ThroughputConfig& config,
     const double vs_condition = reference_ms / wall_ms[p];
     const bool regression = vs_pool1 < 1.0;
     any_regression = any_regression || regression || !identical;
-    // The acceptance target (ISSUE 4): >= 5x samples/sec over the
-    // per-sample condition() baseline at n >= 128 on this host. Tracked
-    // per family; the dense-symmetric series keeps its per-round
-    // eigendecomposition in both paths, so the target is asserted on the
-    // low-rank family, where the commit path is genuinely incremental.
+    // Acceptance targets over the per-sample condition() baseline at
+    // n >= 128: >= 5x for the low-rank family, and >= 3x for the dense
+    // symmetric family, whose commit path now runs factor-native
+    // (Cholesky downdates + Newton ESPs per accepted round) while the
+    // baseline re-runs the spectral preprocessing per draw. The
+    // `refreshes` column counts eigensolve fallbacks paid by the commit
+    // path — 0 on well-conditioned kernels.
     if (config.d != 0 && config.n >= 128 && vs_condition < 5.0)
+      any_below_target = true;
+    if (config.d == 0 && config.n >= 128 && vs_condition < 3.0)
       any_below_target = true;
     table.add_row({fmt_int(pool_size), fmt(wall_ms[p], 1), fmt(sps, 1),
                    fmt(vs_pool1, 1), fmt(vs_condition, 1),
-                   identical ? "yes" : "NO"});
+                   fmt_int(refreshes[p]), identical ? "yes" : "NO"});
     json.add_record(
         {JsonSeries::text("experiment", "session_throughput"),
          JsonSeries::text("family", config.family),
@@ -134,6 +148,7 @@ void run_config(const CountingOracle& oracle, const ThroughputConfig& config,
          JsonSeries::number("samples_per_sec", sps, 1),
          JsonSeries::number("speedup", vs_pool1, 1),
          JsonSeries::number("speedup_vs_condition", vs_condition, 2),
+         JsonSeries::number("spectral_refreshes", refreshes[p]),
          JsonSeries::number("condition_baseline_ms", reference_ms, 3),
          JsonSeries::text("identical", identical ? "yes" : "no"),
          JsonSeries::boolean("regression", regression || !identical)});
@@ -149,9 +164,10 @@ void run_config(const CountingOracle& oracle, const ThroughputConfig& config,
 int main() {
   print_header(
       "EXP-THR", "SamplerSession commit-path throughput",
-      "amortized preprocessing + commit-path rounds serve >= 5x the "
-      "samples/sec of the per-sample condition() baseline (low-rank "
-      "family, n >= 128), bit-identical samples at every pool size");
+      "amortized preprocessing + factor-native commit rounds serve >= 5x "
+      "(low-rank) and >= 3x (dense symmetric, eigensolve-free rounds) the "
+      "samples/sec of the per-sample condition() baseline at n >= 128, "
+      "bit-identical samples at every pool size");
   JsonSeries json;
   bool any_regression = false;
   bool any_below_target = false;
@@ -180,8 +196,9 @@ int main() {
     std::printf("\n! REGRESSION: a pool size lost to pool 1 or diverged "
                 "from the condition() reference\n");
   if (any_below_target)
-    std::printf("\n! TARGET MISSED: low-rank commit path below 5x over the "
-                "condition() baseline\n");
+    std::printf("\n! TARGET MISSED: commit path below its family target "
+                "(5x low-rank, 3x dense symmetric) over the condition() "
+                "baseline\n");
   json.write(bench_out_path("BENCH_throughput.json"));
   return 0;
 }

@@ -15,6 +15,10 @@
 #include <utility>
 #include <vector>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
 #include "parallel/execution.h"
 #include "parallel/thread_pool.h"
 #include "sampling/diagnostics.h"
@@ -208,12 +212,20 @@ class JsonSeries {
     return {std::move(key), std::move(quoted)};
   }
 
+  /// Every record is stamped with the host provenance fields, so cross-PR
+  /// comparisons (scripts/compare_bench.py) can tell a code regression
+  /// from a host change: wall-clock deltas measured on different hardware
+  /// are advisory, not gating.
   void add_record(const std::vector<Field>& fields) {
     std::string record = "  {";
-    for (std::size_t i = 0; i < fields.size(); ++i) {
-      if (i != 0) record += ", ";
-      record += "\"" + fields[i].first + "\": " + fields[i].second;
-    }
+    bool first = true;
+    const auto emit = [&](const Field& field) {
+      if (!first) record += ", ";
+      first = false;
+      record += "\"" + field.first + "\": " + field.second;
+    };
+    for (const Field& field : fields) emit(field);
+    for (const Field& field : host_fields()) emit(field);
     record += "}";
     records_.push_back(std::move(record));
   }
@@ -236,6 +248,40 @@ class JsonSeries {
   }
 
  private:
+  /// Cached host descriptors: logical CPU count two ways (the standard
+  /// library's view and the OS's online-processor count, which diverge
+  /// under cgroup/affinity limits) plus the CPU model string.
+  static const std::vector<Field>& host_fields() {
+    static const std::vector<Field> fields = [] {
+      std::vector<Field> out;
+      out.push_back(number(
+          "host_cpus",
+          static_cast<std::size_t>(std::thread::hardware_concurrency())));
+      std::size_t nproc = 0;
+#if defined(_SC_NPROCESSORS_ONLN)
+      const long online = ::sysconf(_SC_NPROCESSORS_ONLN);
+      if (online > 0) nproc = static_cast<std::size_t>(online);
+#endif
+      out.push_back(number("host_nproc", nproc));
+      std::string model = "unknown";
+      std::ifstream cpuinfo("/proc/cpuinfo");
+      std::string line;
+      while (std::getline(cpuinfo, line)) {
+        if (line.rfind("model name", 0) != 0) continue;
+        const std::size_t colon = line.find(':');
+        if (colon != std::string::npos) {
+          model = line.substr(colon + 1);
+          const std::size_t start = model.find_first_not_of(" \t");
+          model = start == std::string::npos ? "unknown" : model.substr(start);
+        }
+        break;
+      }
+      out.push_back(text("host_cpu_model", model));
+      return out;
+    }();
+    return fields;
+  }
+
   std::vector<std::string> records_;
 };
 

@@ -37,8 +37,17 @@ TIME_FIELDS = (
     "condition_baseline_ms",
 )
 
+# Host provenance fields stamped into every record by bench_util.h.
+# Never identity (a runner change must not orphan every record), but
+# consulted when gating: a mismatch between baseline and current host
+# downgrades fail-level slowdowns to warnings, because wall-clock deltas
+# measured on different hardware are advisory, not evidence of a code
+# regression.
+HOST_FIELDS = ("host_cpus", "host_nproc", "host_cpu_model")
+
 # Fields that are measurements or run-dependent flags, never identity.
-NON_IDENTITY_FIELDS = set(TIME_FIELDS) | {
+NON_IDENTITY_FIELDS = set(TIME_FIELDS) | set(HOST_FIELDS) | {
+    "spectral_refreshes",
     "samples_per_sec",
     "speedup",
     "speedup_vs_condition",
@@ -87,6 +96,15 @@ def load_records(directory):
     return records
 
 
+def host_mismatch(base, record):
+    """True when both records carry a host field and they disagree."""
+    return any(
+        field in base and field in record
+        and str(base[field]) != str(record[field])
+        for field in HOST_FIELDS
+    )
+
+
 def describe(key):
     name, identity = key
     fields = ", ".join(f"{field}={value}" for field, value in identity)
@@ -111,6 +129,7 @@ def compare(baseline_dir, current_dir, warn, fail, advisory):
             print(f"new record (no baseline): {describe(key)}")
             continue
         base = baseline[key]
+        mismatch = host_mismatch(base, record)
         for field in TIME_FIELDS:
             if field not in record or field not in base:
                 continue
@@ -125,9 +144,18 @@ def compare(baseline_dir, current_dir, warn, fail, advisory):
                 f"{cur_value:.3f} ms ({ratio:.2f}x)"
             )
             if ratio > 1.0 + fail:
-                failures += 1
-                level = "warning" if advisory else "error"
-                print(f"::{level}::slowdown beyond fail threshold: {line}")
+                if mismatch:
+                    warnings += 1
+                    print(
+                        "::warning::slowdown beyond fail threshold "
+                        f"(host mismatch: advisory): {line}"
+                    )
+                else:
+                    failures += 1
+                    level = "warning" if advisory else "error"
+                    print(
+                        f"::{level}::slowdown beyond fail threshold: {line}"
+                    )
             elif ratio > 1.0 + warn:
                 warnings += 1
                 print(f"::warning::slowdown: {line}")
@@ -154,7 +182,7 @@ def write_snapshot(path, directory):
     for (name, identity), record in sorted(records.items()):
         entry = {"file": name}
         entry.update({field: value for field, value in identity})
-        for field in TIME_FIELDS:
+        for field in HOST_FIELDS + TIME_FIELDS:
             if field in record:
                 entry[field] = record[field]
         snapshot.append(entry)

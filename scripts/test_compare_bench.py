@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""Unit tests for the perf-trajectory comparator (scripts/compare_bench.py).
+
+Exercised directly by the CI lint job (`python3 -m unittest discover -s
+scripts`), so regressions in the gating logic fail before the build
+matrix spends an hour discovering them the hard way. Each test builds a
+baseline/current directory pair under a tempdir and asserts on the exit
+code of `compare()` — the same entry point the workflow calls.
+"""
+
+import json
+import os
+import shutil
+import tempfile
+import unittest
+
+import compare_bench
+
+HOST_A = {
+    "host_cpus": 8,
+    "host_nproc": 8,
+    "host_cpu_model": "TestCPU v1",
+}
+HOST_B = {
+    "host_cpus": 64,
+    "host_nproc": 32,
+    "host_cpu_model": "TestCPU v2",
+}
+
+
+def record(wall_ms, host=None, **identity):
+    entry = {"experiment": "unit", "family": "f", "pool": 1}
+    entry.update(identity)
+    entry["wall_ms"] = wall_ms
+    entry.update(host or {})
+    return entry
+
+
+class CompareBenchTest(unittest.TestCase):
+    def setUp(self):
+        self.tmp = tempfile.mkdtemp(prefix="compare-bench-test-")
+        self.addCleanup(shutil.rmtree, self.tmp, ignore_errors=True)
+
+    def write_dir(self, name, records):
+        directory = os.path.join(self.tmp, name)
+        os.makedirs(directory, exist_ok=True)
+        with open(os.path.join(directory, "BENCH_unit.json"), "w") as out:
+            json.dump(records, out)
+        return directory
+
+    def compare(self, baseline, current, advisory=False):
+        return compare_bench.compare(
+            baseline, current, warn=0.10, fail=0.25, advisory=advisory
+        )
+
+    def test_missing_baseline_dir_is_not_gating(self):
+        current = self.write_dir("current", [record(100.0, HOST_A)])
+        missing = os.path.join(self.tmp, "does-not-exist")
+        self.assertEqual(self.compare(missing, current), 0)
+
+    def test_missing_current_records_fail(self):
+        baseline = self.write_dir("baseline", [record(100.0, HOST_A)])
+        empty = os.path.join(self.tmp, "empty")
+        os.makedirs(empty)
+        self.assertEqual(self.compare(baseline, empty), 1)
+
+    def test_new_record_without_baseline_is_informational(self):
+        baseline = self.write_dir("baseline", [record(100.0, HOST_A)])
+        current = self.write_dir(
+            "current",
+            [record(100.0, HOST_A), record(5000.0, HOST_A, n=999)],
+        )
+        self.assertEqual(self.compare(baseline, current), 0)
+
+    def test_same_host_regression_gates(self):
+        baseline = self.write_dir("baseline", [record(100.0, HOST_A)])
+        current = self.write_dir("current", [record(200.0, HOST_A)])
+        self.assertEqual(self.compare(baseline, current), 1)
+
+    def test_advisory_downgrades_regression_to_exit_zero(self):
+        baseline = self.write_dir("baseline", [record(100.0, HOST_A)])
+        current = self.write_dir("current", [record(200.0, HOST_A)])
+        self.assertEqual(self.compare(baseline, current, advisory=True), 0)
+
+    def test_host_mismatch_downgrades_regression_to_warning(self):
+        baseline = self.write_dir("baseline", [record(100.0, HOST_A)])
+        current = self.write_dir("current", [record(200.0, HOST_B)])
+        self.assertEqual(self.compare(baseline, current), 0)
+
+    def test_host_fields_are_not_identity(self):
+        # A runner change must not orphan the record pair: the records
+        # still match, and a within-threshold timing passes cleanly.
+        baseline = self.write_dir("baseline", [record(100.0, HOST_A)])
+        current = self.write_dir("current", [record(101.0, HOST_B)])
+        self.assertEqual(self.compare(baseline, current), 0)
+
+    def test_records_without_host_fields_still_gate(self):
+        # Pre-provenance records (older snapshots) carry no host fields;
+        # absence on either side must not be read as a mismatch.
+        baseline = self.write_dir("baseline", [record(100.0)])
+        current = self.write_dir("current", [record(200.0, HOST_A)])
+        self.assertEqual(self.compare(baseline, current), 1)
+
+    def test_snapshot_round_trip_preserves_host_fields(self):
+        bench_dir = self.write_dir("out", [record(100.0, HOST_A)])
+        snapshot = os.path.join(self.tmp, "BENCH_trajectory.json")
+        self.assertEqual(compare_bench.write_snapshot(snapshot, bench_dir), 0)
+        with open(snapshot) as handle:
+            entries = json.load(handle)
+        self.assertEqual(len(entries), 1)
+        for field in compare_bench.HOST_FIELDS:
+            self.assertIn(field, entries[0])
+        # Exploding the snapshot back into a baseline keeps the mismatch
+        # machinery live: a regression on different hardware is advisory.
+        exploded = compare_bench.snapshot_as_baseline(
+            snapshot, os.path.join(self.tmp, "exploded")
+        )
+        current = self.write_dir("current", [record(200.0, HOST_B)])
+        self.assertEqual(self.compare(exploded, current), 0)
+        same_host = self.write_dir("same-host", [record(200.0, HOST_A)])
+        self.assertEqual(self.compare(exploded, same_host), 1)
+
+
+if __name__ == "__main__":
+    unittest.main()

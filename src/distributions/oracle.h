@@ -101,14 +101,15 @@ class CountingOracle {
 
   /// Draws one element with probability p_i / k — the sequential
   /// reduction's per-round step. The default materializes `marginals()`
-  /// and draws categorically; spectral families override with the exact
-  /// two-stage mixture draw (eigenmode ~ ESP weight, then item ~ squared
-  /// eigenvector entry), which never assembles the marginal vector. The
-  /// draw *protocol* — how many variates are consumed, from which
-  /// distributions — is a per-family determinism invariant (DESIGN.md §2
-  /// convention 7): every implementation of one family's conditional must
-  /// consume the stream identically, so the commit path and the
-  /// condition() reference path replay the same sample from one seed.
+  /// and draws categorically (one variate); the low-rank feature family
+  /// overrides with the exact two-stage mixture draw (eigenmode ~ ESP
+  /// weight, then item ~ squared eigenvector entry), which never
+  /// assembles the marginal vector. The draw *protocol* — how many
+  /// variates are consumed, from which distributions — is a per-family
+  /// determinism invariant (DESIGN.md §2 convention 7): every
+  /// implementation of one family's conditional must consume the stream
+  /// identically, so the commit path and the condition() reference path
+  /// replay the same sample from one seed.
   [[nodiscard]] virtual MarginalDraw draw_marginal(RandomStream& rng) const {
     const std::vector<double> p = marginals();
     MarginalDraw draw;
@@ -251,6 +252,14 @@ class CommittedOracle : public CountingOracle {
   [[nodiscard]] virtual double log_committed_mass() const {
     return std::numeric_limits<double>::quiet_NaN();
   }
+
+  /// Number of full spectral (eigensolve) refreshes this state has paid
+  /// since construction — the fallback counter of factorization-native
+  /// commit paths (DESIGN.md §2 convention 9). Zero for families that
+  /// never need one and for the condition() reference wrapper by
+  /// construction. Monotone across reset(); samplers report per-run
+  /// deltas (SampleDiagnostics::spectral_refreshes).
+  [[nodiscard]] virtual std::size_t spectral_refreshes() const { return 0; }
 };
 
 namespace detail {

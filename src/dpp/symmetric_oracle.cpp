@@ -1,5 +1,6 @@
 #include "dpp/symmetric_oracle.h"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 #include <utility>
@@ -13,6 +14,16 @@
 namespace pardpp {
 
 namespace {
+
+// Guard constants of the factor-native commit path (DESIGN.md §2
+// convention 9). A trip on any of them forces one spectral refresh —
+// correctness never depends on the fast path being well-conditioned.
+constexpr double kTraceCondGuard = 1e3;       // t_abs / t per trace
+constexpr double kNewtonProductGuard = 1e5;   // trace ratio x esp ratio
+constexpr double kMarginalItemGuard = 1e-4;   // numer / |term| floor
+constexpr double kMarginalSumTol = 1e-8;      // |sum p - k| / k
+constexpr double kCommitDriftGuard = 1e-8;    // eliminated-row residual
+constexpr std::size_t kMaxMarginalFixups = 4; // exact per-item resolves
 
 // From-scratch joint marginal of the k-DPP with ensemble `l` and partition
 // log_z = log e_k(lambda(l)) — the arithmetic both the base oracle and the
@@ -65,25 +76,62 @@ std::vector<double> marginals_from_spectrum(const SymmetricEigen& eig,
   return p;
 }
 
-// Exact two-stage mixture draw: mode m ~ w_m / k, then item i ~ V_im^2.
-// Marginally i ~ p_i / k without ever assembling the marginal vector —
-// the spectral families' draw protocol (one categorical over modes, one
-// over items; a per-family determinism invariant).
-int two_stage_draw(const SymmetricEigen& eig, const LogEspTable& table,
-                   std::size_t k, std::vector<double>& w_scratch,
-                   std::vector<double>& col_scratch, RandomStream& rng) {
-  const double log_z = table.log_e(k);
-  check_numeric(log_z != kNegInf,
-                "draw_marginal: partition function is zero");
-  esp_mode_weights(eig.values, table, k, w_scratch);
-  const std::size_t mode = rng.categorical(w_scratch);
-  const std::size_t n = eig.values.size();
-  col_scratch.resize(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    const double v = eig.vectors(i, mode);
-    col_scratch[i] = v * v;
+// Validates a Newton ESP evaluation against its trace inputs: every
+// trace must be positive, finite, and within its |term| guard, every e_j
+// must pass the cancellation monitor, and the *product* of the worst
+// trace ratio and the worst esp ratio must stay under the combined guard
+// — trace drift is amplified by exactly the esp cancellation ratio, so
+// the product is what bounds the relative error (~eps * product).
+bool newton_trustworthy(std::span<const double> traces,
+                        std::span<const double> traces_abs,
+                        const NewtonEsp& ne, std::size_t jmax) {
+  double trace_ratio = 1.0;
+  for (std::size_t v = 1; v <= jmax; ++v) {
+    const double t = traces[v - 1];
+    const double ta = traces_abs[v - 1];
+    if (!std::isfinite(t) || !std::isfinite(ta) || t <= 0.0 ||
+        ta > kTraceCondGuard * t)
+      return false;
+    trace_ratio = std::max(trace_ratio, ta / t);
   }
-  return static_cast<int>(rng.categorical(col_scratch));
+  double esp_ratio = 1.0;
+  for (std::size_t j = 1; j <= jmax; ++j) {
+    if (!ne.well_conditioned(j, kEspCancelGuard)) return false;
+    esp_ratio = std::max(esp_ratio, ne.abs[j] / ne.e[j]);
+  }
+  return trace_ratio * esp_ratio <= kNewtonProductGuard;
+}
+
+// Seeds a PowerBasis (passed generically — the type is private to the
+// oracle) from a clamped spectrum: d_v[i] = sum_m lamhat_m^v V_im^2,
+// t_v = sum_m lamhat_m^v, with |term| companions equal to the values
+// (every contribution is nonnegative). This is both the base oracle's
+// basis construction and the drift reset of a commit-path spectral
+// refresh. `basis.scale` must be set by the caller.
+template <typename Basis>
+void seed_basis_from_spectrum(const SymmetricEigen& eig,
+                              std::span<const double> clamped,
+                              std::size_t jmax, Basis& basis) {
+  const std::size_t n = clamped.size();
+  basis.log_scale = std::log(basis.scale);
+  basis.traces.assign(jmax, 0.0);
+  basis.diag.assign(jmax * n, 0.0);
+  for (std::size_t m = 0; m < n; ++m) {
+    const double lam = clamped[m] / basis.scale;
+    if (lam <= 0.0) continue;
+    double p = 1.0;
+    for (std::size_t v = 1; v <= jmax; ++v) {
+      p *= lam;
+      basis.traces[v - 1] += p;
+      double* row = basis.diag.data() + (v - 1) * n;
+      for (std::size_t i = 0; i < n; ++i) {
+        const double vi = eig.vectors(i, m);
+        row[i] += p * vi * vi;
+      }
+    }
+  }
+  basis.traces_abs = basis.traces;
+  basis.diag_abs = basis.diag;
 }
 
 }  // namespace
@@ -110,6 +158,22 @@ const LogEspTable& SymmetricKdppOracle::esp() const {
     esp_ = LogEspTable(lambda, k_);
   }
   return *esp_;
+}
+
+const SymmetricKdppOracle::PowerBasis& SymmetricKdppOracle::power_basis()
+    const {
+  if (!power_.has_value()) {
+    PowerBasis basis;
+    double max_diag = 0.0;
+    for (std::size_t i = 0; i < l_.rows(); ++i)
+      max_diag = std::max(max_diag, std::abs(l_(i, i)));
+    basis.scale = max_diag > 0.0 ? max_diag : 1.0;
+    std::vector<double> lambda = eigen().values;
+    clamp_spectrum_to_rank(lambda);
+    seed_basis_from_spectrum(eigen(), lambda, k_, basis);
+    power_ = std::move(basis);
+  }
+  return *power_;
 }
 
 double SymmetricKdppOracle::log_partition() const { return esp().log_e(k_); }
@@ -141,27 +205,20 @@ double SymmetricKdppOracle::log_joint_marginal(std::span<const int> t) const {
   return log_joint_scratch(l_, k_, log_partition(), t);
 }
 
-MarginalDraw SymmetricKdppOracle::draw_marginal(RandomStream& rng) const {
-  std::vector<double> w;
-  std::vector<double> col;
-  MarginalDraw draw;
-  draw.index = two_stage_draw(eigen(), esp(), k_, w, col, rng);
-  return draw;
-}
-
 // Wave-scoped incremental query evaluator (oracle.h): answers each query
 // against the shared prefix already folded into the view it was created
 // from — the base oracle's caches, or the commit-path state's refreshed
 // caches — extending by the proposal batch with an incrementally grown
-// Cholesky factor and a scratch-reusing Schur complement. Singleton
-// extensions short-circuit to the cached leave-one-out ESP marginals — no
-// factorization at all.
+// Cholesky factor. Singleton extensions short-circuit to the cached
+// marginals; small extensions resolve *factor-side* through the shared
+// power basis (BlockMomentProbe + Newton identities, no eigensolve); the
+// rest fall back to a scratch-reusing Schur complement + eigensolve.
 class SymmetricKdppOracle::State final : public ConditionalState {
  public:
   State(const Matrix& l, std::size_t k, double log_z,
-        const std::vector<double>* log_marginals)
+        const std::vector<double>* log_marginals, const PowerBasis* basis)
       : l_(l), k_(k), log_z_(log_z), log_marginals_(log_marginals),
-        chol_(k) {}
+        basis_(basis), chol_(k) {}
 
   [[nodiscard]] double log_joint(std::span<const int> t) override {
     const std::size_t tsize = t.size();
@@ -193,6 +250,25 @@ class SymmetricKdppOracle::State final : public ConditionalState {
     }
     const double log_det_t = chol_.log_det();
     if (tsize == k_) return log_det_t - log_z_;
+    // Factor-side tail: downdate the shared power basis through the
+    // already-built block factor and recover e_{k-t} by Newton's
+    // identities — no reduced matrix, no eigensolve. Gated by the cost
+    // heuristic (probe = |T|(k-|T|) matvecs vs one n^3 eigensolve) and
+    // the conditioning guards; any trip falls through to the spectral
+    // path, which also owns the exact rank-deficiency (-inf) semantics.
+    const std::size_t vmax = k_ - tsize;
+    if (basis_ != nullptr && basis_->traces.size() >= vmax &&
+        tsize * vmax <= 2 * n) {
+      probe_.build(l_, basis_->scale, t, chol_, vmax);
+      probe_.downdated_traces(basis_->traces, basis_->traces_abs, vmax,
+                              traces_, traces_abs_);
+      const NewtonEsp ne = esp_from_power_traces(traces_, vmax);
+      if (newton_trustworthy(traces_, traces_abs_, ne, vmax)) {
+        const double tail = std::log(ne.e[vmax]) +
+                            static_cast<double>(vmax) * basis_->log_scale;
+        return log_det_t + tail - log_z_;
+      }
+    }
     // e_{k-t} of the conditional spectrum, via the already-built factor.
     complement_into(t, n);
     schur_complement_sym_into(l_, keep_, t, chol_, y_, reduced_);
@@ -219,7 +295,11 @@ class SymmetricKdppOracle::State final : public ConditionalState {
   std::size_t k_;
   double log_z_;
   const std::vector<double>* log_marginals_;
+  const PowerBasis* basis_;
   IncrementalCholesky chol_;
+  BlockMomentProbe probe_;
+  std::vector<double> traces_;
+  std::vector<double> traces_abs_;
   std::vector<double> row_;
   std::vector<char> mask_;
   std::vector<int> keep_;
@@ -233,20 +313,25 @@ std::unique_ptr<ConditionalState> SymmetricKdppOracle::make_conditional_state()
   const double log_z = log_partition();
   const std::vector<double>* lm =
       log_z != kNegInf ? &log_marginal_cache() : nullptr;
-  return std::make_unique<State>(l_, k_, log_z, lm);
+  return std::make_unique<State>(l_, k_, log_z, lm, &power_basis());
 }
 
-// ---- the commit path (DESIGN.md §2 convention 7) ----
+// ---- the commit path (DESIGN.md §2 conventions 7 and 9) ----
 //
 // One long-lived conditional: `commit(batch)` folds the accepted batch
 // into the state in place — the batch's bordered Cholesky rows are
 // appended to the persistent factors, the conditional ensemble is updated
-// by the half-solve Schur complement on reused buffers, and the spectral
-// caches (eigen, ESP, marginals) are refreshed for the new conditional —
-// instead of materializing a conditioned oracle and re-deriving all of it
-// from scratch. Until the first commit every query reads the base
-// oracle's shared caches, so a session that primes the base once
-// amortizes the O(n^3) spectral preprocessing across every draw.
+// by the half-solve Schur complement on reused buffers, and the counting
+// caches are refreshed *factor-natively*: the power-trace / diagonal-
+// moment basis is downdated through the accepted block's factor
+// (BlockMomentProbe), e_j recovered by Newton's identities, and the
+// marginal vector by the adjugate expansion — no per-round eigensolve.
+// Cancellation monitors ride every quantity; a guard trip (or eliminated-
+// row drift past its bound) forces one spectral refresh, which also
+// reseeds the basis from the clamped spectrum. Until the first commit
+// every query reads the base oracle's shared caches, so a session that
+// primes the base once amortizes the O(n^3) spectral preprocessing across
+// every draw.
 class SymmetricKdppOracle::Committed final : public CommittedOracle {
  public:
   explicit Committed(const SymmetricKdppOracle& base)
@@ -308,6 +393,11 @@ class SymmetricKdppOracle::Committed final : public CommittedOracle {
         base_chol_.truncate();  // drop this batch's partial rows
       }
     }
+    // Stage the factor-native moment downdate against the pre-commit
+    // ensemble (the probe reads `src`, which the swap below retires) and
+    // check the eliminated rows' residuals against the drift bound.
+    const std::size_t k_next = k_cur_ - tsize;
+    const bool fast_ok = k_next > 0 && stage_downdate(src, batch, k_next);
     // Condition in place by the half-solve Schur complement on
     // persistent scratch.
     mask_.assign(n, 0);
@@ -326,9 +416,16 @@ class SymmetricKdppOracle::Committed final : public CommittedOracle {
     for (std::size_t i = 0; i < n; ++i)
       if (mask_[i] == 0) ids_[w++] = ids_[i];
     ids_.resize(w);
-    k_cur_ -= tsize;
+    k_cur_ = k_next;
     ++rounds_;
-    refresh_spectrum();
+    if (k_cur_ == 0) {
+      trivial_refresh();
+    } else if (fast_ok) {
+      adopt_staged_basis(n);
+      finalize_fast();
+    } else {
+      spectral_refresh();
+    }
   }
 
   void reset() override {
@@ -343,6 +440,15 @@ class SymmetricKdppOracle::Committed final : public CommittedOracle {
     for (std::size_t i = 0; i < base_->ground_size(); ++i)
       max_diag = std::max(max_diag, std::abs(base_->l_(i, i)));
     base_chol_.clear(max_diag);
+    // The run-fixed moment scale matches the base power basis'
+    // construction (same formula over the same diagonal); the basis data
+    // itself is populated on first commit, off the base oracle's primed
+    // basis. spectral_refreshes_ is deliberately *not* rewound — it is a
+    // monotone counter and sessions report per-run deltas.
+    basis_ = PowerBasis{};
+    basis_.scale = max_diag > 0.0 ? max_diag : 1.0;
+    basis_.log_scale = std::log(basis_.scale);
+    log_e_.clear();
     eig_.reset();
     esp_.reset();
     marginals_.reset();
@@ -356,8 +462,11 @@ class SymmetricKdppOracle::Committed final : public CommittedOracle {
   [[nodiscard]] double log_committed_mass() const override {
     if (!base_ok_) return std::numeric_limits<double>::quiet_NaN();
     // Chain rule: P[T ⊆ S] = det(L_T) e_{k-t}(lambda(L^T)) / e_k(lambda).
-    return base_chol_.log_det() + esp_table().log_e(k_cur_) -
-           base_->log_partition();
+    return base_chol_.log_det() + log_partition() - base_->log_partition();
+  }
+
+  [[nodiscard]] std::size_t spectral_refreshes() const override {
+    return spectral_refreshes_;
   }
 
   [[nodiscard]] std::size_t ground_size() const override {
@@ -374,14 +483,6 @@ class SymmetricKdppOracle::Committed final : public CommittedOracle {
 
   [[nodiscard]] std::vector<double> marginals() const override {
     return marginal_cache();
-  }
-
-  [[nodiscard]] MarginalDraw draw_marginal(RandomStream& rng) const override {
-    MarginalDraw draw;
-    draw.index =
-        two_stage_draw(eig(), esp_table(), k_cur_, w_scratch_, col_scratch_,
-                       rng);
-    return draw;
   }
 
   [[nodiscard]] std::unique_ptr<CountingOracle> condition(
@@ -401,11 +502,9 @@ class SymmetricKdppOracle::Committed final : public CommittedOracle {
   [[nodiscard]] std::string name() const override { return base_->name(); }
 
   void prepare_concurrent() const override {
-    if (rounds_ == 0) {
-      base_->prepare_concurrent();
-      return;
-    }
-    if (log_partition() != kNegInf) (void)log_marginal_cache();
+    // Post-commit state is refreshed eagerly by commit() itself; only the
+    // base oracle's shared caches are lazy.
+    if (rounds_ == 0) base_->prepare_concurrent();
   }
 
   [[nodiscard]] std::unique_ptr<ConditionalState> make_conditional_state()
@@ -413,79 +512,219 @@ class SymmetricKdppOracle::Committed final : public CommittedOracle {
     const double log_z = log_partition();
     const std::vector<double>* lm =
         log_z != kNegInf ? &log_marginal_cache() : nullptr;
-    return std::make_unique<State>(ensemble(), k_cur_, log_z, lm);
+    const PowerBasis* basis =
+        rounds_ == 0 ? &base_->power_basis() : &basis_;
+    return std::make_unique<State>(ensemble(), k_cur_, log_z, lm, basis);
   }
 
  private:
   [[nodiscard]] const Matrix& ensemble() const {
     return rounds_ == 0 ? base_->l_ : m_;
   }
-  [[nodiscard]] const SymmetricEigen& eig() const {
-    if (rounds_ == 0) return base_->eigen();
-    return *eig_;
-  }
-  [[nodiscard]] const LogEspTable& esp_table() const {
-    if (rounds_ == 0) return base_->esp();
-    return *esp_;
-  }
   [[nodiscard]] double log_partition() const {
-    return esp_table().log_e(k_cur_);
+    return rounds_ == 0 ? base_->log_partition() : log_e_[k_cur_];
   }
   [[nodiscard]] const std::vector<double>& marginal_cache() const {
     if (rounds_ == 0) return base_->marginal_cache();
-    if (!marginals_.has_value()) {
-      if (k_cur_ == 0 || m_.rows() == 0) {
-        marginals_ = std::vector<double>(m_.rows(), 0.0);
-      } else {
-        marginals_ = marginals_from_spectrum(*eig_, *esp_, k_cur_);
-      }
-    }
+    check_numeric(marginals_.has_value(),
+                  "SymmetricKdppOracle: partition function is zero "
+                  "(rank of L below k)");
     return *marginals_;
   }
   [[nodiscard]] const std::vector<double>& log_marginal_cache() const {
     if (rounds_ == 0) return base_->log_marginal_cache();
-    if (!log_marginals_.has_value())
-      log_marginals_ = log_probabilities(marginal_cache());
+    check_numeric(log_marginals_.has_value(),
+                  "SymmetricKdppOracle: partition function is zero "
+                  "(rank of L below k)");
     return *log_marginals_;
   }
 
-  void refresh_spectrum() {
-    marginals_.reset();
-    log_marginals_.reset();
-    if (k_cur_ == 0) {
-      // The run is complete; no further spectral queries are answerable
-      // (log_e(0) = 0 still works through an empty table).
-      eig_ = SymmetricEigen{};
-      esp_ = LogEspTable(std::vector<double>{}, 0);
+  // Builds the moment probe over the accepted block's factor and stages
+  // downdated traces / diagonal moments for the conditional. Returns
+  // false — caller refactorizes spectrally — when the eliminated rows'
+  // residual moments exceed the drift bound: in exact arithmetic they are
+  // zero, so their magnitude *is* the accumulated factorization drift.
+  bool stage_downdate(const Matrix& src, std::span<const int> batch,
+                      std::size_t k_next) {
+    const PowerBasis& pb = rounds_ == 0 ? base_->power_basis() : basis_;
+    if (pb.traces.size() < k_next) return false;
+    staged_scale_ = pb.scale;
+    staged_log_scale_ = pb.log_scale;
+    probe_.build(src, pb.scale, batch, elim_chol_, k_next);
+    probe_.downdated_traces(pb.traces, pb.traces_abs, k_next, staged_traces_,
+                            staged_traces_abs_);
+    probe_.downdated_diag(pb.diag, pb.diag_abs, k_next, staged_diag_,
+                          staged_diag_abs_);
+    const std::size_t n = src.rows();
+    const std::size_t vcheck = std::min<std::size_t>(2, k_next);
+    for (std::size_t v = 1; v <= vcheck; ++v) {
+      for (const int b : batch) {
+        const double d =
+            staged_diag_[(v - 1) * n + static_cast<std::size_t>(b)];
+        const double da =
+            staged_diag_abs_[(v - 1) * n + static_cast<std::size_t>(b)];
+        if (!(std::abs(d) <= kCommitDriftGuard * da)) return false;
+      }
+    }
+    return true;
+  }
+
+  // Adopts the staged basis for the new conditional: traces move over,
+  // diagonal moments are compacted onto the kept rows (the eliminated
+  // rows' residuals were just checked against the drift bound).
+  void adopt_staged_basis(std::size_t old_n) {
+    basis_.scale = staged_scale_;
+    basis_.log_scale = staged_log_scale_;
+    basis_.traces.swap(staged_traces_);
+    basis_.traces_abs.swap(staged_traces_abs_);
+    const std::size_t new_n = keep_.size();
+    basis_.diag.resize(k_cur_ * new_n);
+    basis_.diag_abs.resize(k_cur_ * new_n);
+    for (std::size_t v = 1; v <= k_cur_; ++v) {
+      const double* sd = staged_diag_.data() + (v - 1) * old_n;
+      const double* sda = staged_diag_abs_.data() + (v - 1) * old_n;
+      double* dd = basis_.diag.data() + (v - 1) * new_n;
+      double* dda = basis_.diag_abs.data() + (v - 1) * new_n;
+      for (std::size_t j = 0; j < new_n; ++j) {
+        const auto si = static_cast<std::size_t>(keep_[j]);
+        dd[j] = sd[si];
+        dda[j] = sda[si];
+      }
+    }
+  }
+
+  // Factor-native refresh: Newton e_j from the downdated traces, the
+  // marginal vector from the adjugate expansion over the downdated
+  // diagonal moments. Items whose numerator fails its cancellation floor
+  // (small marginals amplify the alternating sum's roundoff) are resolved
+  // exactly one by one; more than kMaxMarginalFixups of them — or any
+  // global guard trip, including the sum rule |sum p - k| — demotes the
+  // whole round to a spectral refresh.
+  void finalize_fast() {
+    const NewtonEsp ne = esp_from_power_traces(basis_.traces, k_cur_);
+    if (!newton_trustworthy(basis_.traces, basis_.traces_abs, ne, k_cur_)) {
+      spectral_refresh();
       return;
     }
+    const std::size_t n = m_.rows();
+    const std::size_t kc = k_cur_;
+    std::vector<double> p(n, 0.0);
+    fixups_.clear();
+    const double ek = ne.e[kc];
+    for (std::size_t i = 0; i < n; ++i) {
+      double numer = 0.0;
+      double numer_abs = 0.0;
+      double sign = 1.0;
+      for (std::size_t v = 1; v <= kc; ++v) {
+        numer += sign * ne.e[kc - v] * basis_.diag[(v - 1) * n + i];
+        numer_abs += ne.abs[kc - v] * basis_.diag_abs[(v - 1) * n + i];
+        sign = -sign;
+      }
+      if (!std::isfinite(numer) || !std::isfinite(numer_abs)) {
+        spectral_refresh();
+        return;
+      }
+      if (numer >= kMarginalItemGuard * numer_abs) {
+        p[i] = std::min(numer / ek, 1.0);
+      } else {
+        fixups_.push_back(i);
+        if (fixups_.size() > kMaxMarginalFixups) {
+          spectral_refresh();
+          return;
+        }
+      }
+    }
+    log_e_.assign(kc + 1, 0.0);
+    for (std::size_t j = 1; j <= kc; ++j)
+      log_e_[j] =
+          std::log(ne.e[j]) + static_cast<double>(j) * basis_.log_scale;
+    for (const std::size_t i : fixups_) {
+      const int idx = static_cast<int>(i);
+      const double lp = log_joint_scratch(m_, kc, log_e_[kc],
+                                          std::span<const int>(&idx, 1));
+      p[i] = lp == kNegInf ? 0.0 : std::min(std::exp(lp), 1.0);
+    }
+    double sum = 0.0;
+    for (const double v : p) sum += v;
+    if (!(std::abs(sum - static_cast<double>(kc)) <=
+          kMarginalSumTol * static_cast<double>(kc))) {
+      spectral_refresh();
+      return;
+    }
+    eig_.reset();
+    esp_.reset();
+    marginals_ = std::move(p);
+    log_marginals_ = log_probabilities(*marginals_);
+  }
+
+  // Full spectral fallback: one eigensolve of the conditional, log e_j
+  // from the clamped spectrum's table, marginals from the spectrum, and
+  // the moment basis reseeded exactly — the forced refactorization of
+  // DESIGN.md §2 convention 9, after which accumulated drift is zero.
+  void spectral_refresh() {
+    ++spectral_refreshes_;
     eig_ = symmetric_eigen(m_);
     std::vector<double> lambda = eig_->values;
     clamp_spectrum_to_rank(lambda);
     esp_ = LogEspTable(lambda, k_cur_);
+    log_e_.resize(k_cur_ + 1);
+    for (std::size_t j = 0; j <= k_cur_; ++j) log_e_[j] = esp_->log_e(j);
+    seed_basis_from_spectrum(*eig_, lambda, k_cur_, basis_);
+    if (log_e_[k_cur_] == kNegInf) {
+      // Degenerate conditional: marginal access must keep throwing like
+      // the from-scratch resolve would, so the vectors stay unset.
+      marginals_.reset();
+      log_marginals_.reset();
+    } else {
+      marginals_ = marginals_from_spectrum(*eig_, *esp_, k_cur_);
+      log_marginals_ = log_probabilities(*marginals_);
+    }
+  }
+
+  // k has been exhausted: e_0 = 1 is the only counting fact left, and
+  // every marginal is zero.
+  void trivial_refresh() {
+    eig_.reset();
+    esp_.reset();
+    log_e_.assign(1, 0.0);
+    basis_.traces.clear();
+    basis_.traces_abs.clear();
+    basis_.diag.clear();
+    basis_.diag_abs.clear();
+    marginals_ = std::vector<double>(m_.rows(), 0.0);
+    log_marginals_ = log_probabilities(*marginals_);
   }
 
   const SymmetricKdppOracle* base_;
   std::size_t k_cur_;
   std::size_t rounds_ = 0;
+  std::size_t spectral_refreshes_ = 0;
   Matrix m_;                       // conditional ensemble (valid after round 1)
   std::vector<int> ids_;           // current index -> base index
   std::vector<int> committed_ids_; // base ids in commit order
   bool base_ok_ = true;
   IncrementalCholesky base_chol_;  // committed prefix over the base matrix
   IncrementalCholesky elim_chol_;  // per-commit elimination block factor
-  std::optional<SymmetricEigen> eig_;
+  PowerBasis basis_;               // factor-native counting basis
+  std::vector<double> log_e_;      // log e_j of the conditional, j=0..k_cur_
+  std::optional<SymmetricEigen> eig_;  // spectral-fallback caches
   std::optional<LogEspTable> esp_;
-  mutable std::optional<std::vector<double>> marginals_;
-  mutable std::optional<std::vector<double>> log_marginals_;
+  std::optional<std::vector<double>> marginals_;
+  std::optional<std::vector<double>> log_marginals_;
   // reused scratch
+  BlockMomentProbe probe_;
+  double staged_scale_ = 1.0;
+  double staged_log_scale_ = 0.0;
+  std::vector<double> staged_traces_;
+  std::vector<double> staged_traces_abs_;
+  std::vector<double> staged_diag_;
+  std::vector<double> staged_diag_abs_;
+  std::vector<std::size_t> fixups_;
   std::vector<double> row_;
   std::vector<char> mask_;
   std::vector<int> keep_;
   std::vector<double> y_;
   Matrix next_;
-  mutable std::vector<double> w_scratch_;
-  mutable std::vector<double> col_scratch_;
 };
 
 std::unique_ptr<CommittedOracle> SymmetricKdppOracle::make_committed() const {
@@ -540,6 +779,7 @@ std::unique_ptr<CountingOracle> SymmetricKdppOracle::clone() const {
 void SymmetricKdppOracle::prepare_concurrent() const {
   (void)eigen();
   (void)esp();
+  (void)power_basis();
   // Rank-deficient ensembles (e_k = 0) keep the degenerate from-scratch
   // semantics; marginals would throw, so only prime the feasible case.
   if (log_partition() != kNegInf) (void)log_marginal_cache();

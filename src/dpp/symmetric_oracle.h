@@ -6,14 +6,29 @@
 //   P[T ⊆ S]     = det(L_T) e_{k-t}(spectrum of L^T) / e_k(lambda)
 // where L^T is the Schur-complement conditional ensemble (paper §3.2).
 // Elementary symmetric polynomials are evaluated in log domain (esp.h);
-// eigen decompositions are cached lazily per conditional state.
+// the base oracle's eigendecomposition is cached lazily.
+//
+// The commit path is *factorization-native* (DESIGN.md §2 convention 9):
+// instead of refreshing the spectrum after every accepted round, the
+// committed state maintains power traces and diagonal moments of the
+// (scaled) conditional ensemble — d_v[i] = (Mhat^v)_ii, t_v = tr(Mhat^v)
+// — and downdates them through the accepted block's Cholesky factor
+// (BlockMomentProbe in linalg/schur.h). Counting queries recover e_j via
+// Newton's identities (esp_from_power_traces) and singleton marginals via
+// the adjugate expansion p_i = sum_v (-1)^{v-1} e_{k-v} d_v[i] / e_k.
+// Every fast-path quantity carries a |term| accumulation; when a
+// cancellation / drift guard trips, the state falls back to one full
+// spectral refresh (and reseeds the moment basis from the clamped
+// spectrum), so answers stay inside the 1e-10 agreement contract with
+// make_condition_reference at all times.
 //
 // Batch queries go through a ConditionalState (oracle.h): the shared
-// factors (eigen, ESP table, marginals) are cached here and primed once
-// by prepare_concurrent(); the state answers |T| = 1 queries by a cached
-// leave-one-out ESP lookup and larger T by an incrementally grown
-// Cholesky factor feeding a scratch-reusing Schur complement — no
-// per-query refactorization of the shared prefix.
+// factors are cached here and primed once by prepare_concurrent(); the
+// state answers |T| = 1 queries by a cached marginal lookup, small
+// extensions by the factor-side moment probe against the shared power
+// basis, and the rest by an incrementally grown Cholesky factor feeding a
+// scratch-reusing Schur complement + eigensolve — no per-query
+// refactorization of the shared prefix.
 #pragma once
 
 #include <optional>
@@ -54,12 +69,9 @@ class SymmetricKdppOracle final : public CountingOracle {
   void prepare_concurrent() const override;
   [[nodiscard]] std::unique_ptr<ConditionalState> make_conditional_state()
       const override;
-  /// Exact two-stage mixture draw: eigenmode ~ ESP weight, then item ~
-  /// squared eigenvector entry — never materializes the marginal vector.
-  [[nodiscard]] MarginalDraw draw_marginal(RandomStream& rng) const override;
-  /// Commit-path state: in-place half-solve Schur conditioning + spectral
-  /// refresh on persistent scratch, with the committed base-prefix
-  /// Cholesky grown across rounds (DESIGN.md §2 convention 7).
+  /// Commit-path state: factor-native moment downdates + Newton-identity
+  /// counting on persistent scratch, with the committed base-prefix
+  /// Cholesky grown across rounds (DESIGN.md §2 conventions 7 and 9).
   [[nodiscard]] std::unique_ptr<CommittedOracle> make_committed()
       const override;
 
@@ -73,10 +85,26 @@ class SymmetricKdppOracle final : public CountingOracle {
   class State;
   class Committed;
 
+  /// Shared moment basis of the scaled ensemble Mhat = L / scale: power
+  /// traces t_v = tr(Mhat^v) and diagonal moments d_v[i] = (Mhat^v)_ii
+  /// for v = 1..jmax, each with a parallel nonnegative |term|
+  /// accumulation bounding the roundoff/drift the stored value may carry
+  /// (DESIGN.md §2 convention 9). The fixed per-run scale keeps e_j
+  /// inside double range; log-domain results are shifted by j*log_scale.
+  struct PowerBasis {
+    double scale = 1.0;
+    double log_scale = 0.0;
+    std::vector<double> traces;      ///< t_v, v = 1..jmax
+    std::vector<double> traces_abs;  ///< |term| companions of t_v
+    std::vector<double> diag;        ///< d_v[i] at [(v-1)*n + i]
+    std::vector<double> diag_abs;    ///< |term| companions of d_v[i]
+  };
+
   const SymmetricEigen& eigen() const;
   const LogEspTable& esp() const;
   const std::vector<double>& marginal_cache() const;
   const std::vector<double>& log_marginal_cache() const;
+  const PowerBasis& power_basis() const;
 
   Matrix l_;
   std::size_t k_;
@@ -84,6 +112,7 @@ class SymmetricKdppOracle final : public CountingOracle {
   mutable std::optional<LogEspTable> esp_;
   mutable std::optional<std::vector<double>> marginals_;
   mutable std::optional<std::vector<double>> log_marginals_;
+  mutable std::optional<PowerBasis> power_;
 };
 
 }  // namespace pardpp

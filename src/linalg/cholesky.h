@@ -244,6 +244,64 @@ inline void cholesky_update(Matrix& lower, std::span<double> v) {
   }
 }
 
+/// Rank-1 *downdate* of a Cholesky factor: given lower-triangular L with
+/// A = L L^T, rewrites L in place so that L L^T = A - v v^T (the
+/// LINPACK-style rotation sweep, transposed for lower factors). `v` is
+/// consumed as scratch.
+///
+/// Guarded against indefinite drift: the downdated matrix is positive
+/// definite iff ||L^{-1} v||^2 < 1, and that test runs *before* any
+/// mutation — on failure (including the near-singular band
+/// 1 - ||p||^2 <= tol, which covers exact zero pivots) the function
+/// returns false with the factor untouched. A downdate that passes the
+/// test but loses a pivot to roundoff during the sweep (only possible
+/// within roundoff of the tolerance boundary) also returns false, with
+/// the factor invalid; callers treat any false as "refactorize from
+/// scratch".
+[[nodiscard]] inline bool cholesky_downdate(Matrix& lower, std::span<double> v,
+                                            double tol = 1e-12) {
+  check_arg(lower.square() && v.size() == lower.rows(),
+            "cholesky_downdate: size mismatch");
+  const std::size_t n = lower.rows();
+  // p = L^{-1} v (forward substitution), in place.
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = v[i];
+    for (std::size_t k = 0; k < i; ++k) acc -= lower(i, k) * v[k];
+    v[i] = acc / lower(i, i);
+  }
+  double norm_sq = 0.0;
+  for (std::size_t i = 0; i < n; ++i) norm_sq += v[i] * v[i];
+  const double alpha_sq = 1.0 - norm_sq;
+  // det(A - vv^T) = det(A) * alpha_sq: reject the indefinite and the
+  // numerically singular cases before touching the factor.
+  if (!(alpha_sq > tol)) return false;
+  // Rotation angles zeroing p from the bottom, growing alpha back to 1.
+  std::vector<double> c(n);
+  std::vector<double> s(n);
+  double alpha = std::sqrt(alpha_sq);
+  for (std::size_t ii = n; ii-- > 0;) {
+    const double scale = alpha + std::abs(v[ii]);
+    const double a = alpha / scale;
+    const double b = v[ii] / scale;
+    const double norm = std::hypot(a, b);
+    c[ii] = a / norm;
+    s[ii] = b / norm;
+    alpha = scale * norm;
+  }
+  // Apply the sweep to each row of L (transposed dchdd column update).
+  bool ok = true;
+  for (std::size_t j = 0; j < n; ++j) {
+    double xx = 0.0;
+    for (std::size_t i = j + 1; i-- > 0;) {
+      const double t = c[i] * xx + s[i] * lower(j, i);
+      lower(j, i) = c[i] * lower(j, i) - s[i] * xx;
+      xx = t;
+    }
+    if (!(lower(j, j) > 0.0)) ok = false;
+  }
+  return ok;
+}
+
 /// Attempts a Cholesky factorization; returns nullopt when the matrix is
 /// not positive definite beyond `tol` (relative to the largest diagonal).
 [[nodiscard]] inline std::optional<CholeskyDecomposition> cholesky(

@@ -63,6 +63,31 @@ LogEspTable::LogEspTable(std::span<const double> lambda, std::size_t jmax)
   }
 }
 
+NewtonEsp esp_from_power_traces(std::span<const double> power_traces,
+                                std::size_t jmax) {
+  check_arg(power_traces.size() >= jmax,
+            "esp_from_power_traces: need traces up to jmax");
+  NewtonEsp out;
+  out.e.assign(jmax + 1, 0.0);
+  out.abs.assign(jmax + 1, 0.0);
+  out.e[0] = 1.0;
+  out.abs[0] = 1.0;
+  for (std::size_t j = 1; j <= jmax; ++j) {
+    double acc = 0.0;
+    double acc_abs = 0.0;
+    double sign = 1.0;
+    for (std::size_t v = 1; v <= j; ++v) {
+      const double t = power_traces[v - 1];
+      acc += sign * out.e[j - v] * t;
+      acc_abs += out.abs[j - v] * std::abs(t);
+      sign = -sign;
+    }
+    out.e[j] = acc / static_cast<double>(j);
+    out.abs[j] = acc_abs / static_cast<double>(j);
+  }
+  return out;
+}
+
 double LogEspTable::log_e(std::size_t j) const {
   check_arg(j <= jmax_, "LogEspTable: j out of range");
   return prefix_[n_][j];

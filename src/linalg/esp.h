@@ -64,6 +64,46 @@ class LogEspTable {
   std::vector<std::vector<double>> suffix_;
 };
 
+/// Elementary symmetric polynomials recovered from power traces via
+/// Newton's identities, in *linear* domain:
+///   j e_j = sum_{v=1..j} (-1)^{v-1} e_{j-v} t_v,   t_v = tr(M^v).
+/// This is the factor-native counting transform of the commit path
+/// (DESIGN.md §2 convention 9): the traces of a conditional ensemble are
+/// maintainable under rank-1/block downdates without an eigensolve, and
+/// the e_j follow from them in O(jmax^2).
+///
+/// The alternating sum cancels catastrophically on near-rank-deficient
+/// spectra, so each value carries a conditioning monitor: `abs[j]`
+/// accumulates the recurrence with |terms| instead of signed terms, and
+/// the result is trustworthy only while e_j stays a guarded fraction of
+/// that accumulation. Callers must check `well_conditioned` and fall back
+/// to a spectral evaluation when it fails — the monitor is what keeps the
+/// fast path inside the oracles' 1e-10 agreement contract.
+struct NewtonEsp {
+  std::vector<double> e;    ///< e_0..e_jmax of the input's spectrum
+  std::vector<double> abs;  ///< |term| accumulation feeding each e_j
+
+  /// True when e_j is positive, finite, and at least 1/guard of its
+  /// |term| accumulation — i.e. the relative error from cancellation is
+  /// bounded by ~guard * machine epsilon.
+  [[nodiscard]] bool well_conditioned(std::size_t j, double guard) const {
+    return j < e.size() && std::isfinite(e[j]) && e[j] > 0.0 &&
+           abs[j] <= guard * e[j];
+  }
+};
+
+/// Default cancellation guard for NewtonEsp consumers: with
+/// abs/e <= 1e3 the cancellation error stays ~1e-13 relative, two orders
+/// under the 1e-10 oracle agreement gate.
+inline constexpr double kEspCancelGuard = 1e3;
+
+/// Builds NewtonEsp from `power_traces`, where power_traces[v-1] =
+/// tr(M^v) for v = 1..jmax (all nonnegative for PSD M; callers pass
+/// traces of a *scaled* matrix M/s to keep e_j inside double range and
+/// shift the results by j log s afterwards).
+[[nodiscard]] NewtonEsp esp_from_power_traces(
+    std::span<const double> power_traces, std::size_t jmax);
+
 /// Eigenmode selection weights of a k-DPP with spectrum `lambda`:
 /// w_m = lambda_m e_{k-1}(lambda \ m) / e_k(lambda), written into `w`
 /// (resized to lambda.size()). The w_m are the probabilities that

@@ -1,6 +1,7 @@
 #include "linalg/schur.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "linalg/cholesky.h"
 #include "linalg/lu.h"
@@ -128,6 +129,199 @@ void condition_ensemble_sym_into(const Matrix& l, std::span<const int> t,
   }
   keep_scratch = complement_indices(n, t);
   schur_complement_sym_into(l, keep_scratch, t, chol, y_scratch, reduced);
+}
+
+void BlockMomentProbe::build(const Matrix& m, double scale,
+                             std::span<const int> elim,
+                             const IncrementalCholesky& chol,
+                             std::size_t orders) {
+  check_arg(m.square(), "BlockMomentProbe: matrix not square");
+  check_arg(chol.size() == elim.size(),
+            "BlockMomentProbe: factor size mismatch");
+  check_arg(scale > 0.0, "BlockMomentProbe: scale must be positive");
+  check_arg(orders >= 1, "BlockMomentProbe: need at least one order");
+  n_ = m.rows();
+  s_ = elim.size();
+  orders_ = orders;
+  w_.assign(orders_ * n_ * s_, 0.0);
+  t_.assign(orders_ * s_ * s_, 0.0);
+  g_.assign(orders_ * s_ * s_, 0.0);
+  g_abs_.assign(orders_ * s_ * s_, 0.0);
+  if (s_ == 0) return;
+  // Uhat^T = R^{-1} M[elim,:] / sqrt(scale): gather the eliminated rows
+  // and run the same forward substitution the Schur path uses.
+  rows_scratch_.resize(s_ * n_);
+  for (std::size_t r = 0; r < s_; ++r) {
+    const auto er = static_cast<std::size_t>(elim[r]);
+    double* row = rows_scratch_.data() + r * n_;
+    for (std::size_t j = 0; j < n_; ++j) row[j] = m(er, j);
+  }
+  chol.forward_solve_rows(rows_scratch_.data(), n_, n_);
+  const double inv_sqrt_scale = 1.0 / std::sqrt(scale);
+  double* w0 = w_.data();  // W_0 = Uhat, n_ x s_
+  for (std::size_t r = 0; r < s_; ++r) {
+    const double* row = rows_scratch_.data() + r * n_;
+    for (std::size_t i = 0; i < n_; ++i) w0[i * s_ + r] = row[i] * inv_sqrt_scale;
+  }
+  // Krylov blocks W_{a+1} = Mhat W_a.
+  const double inv_scale = 1.0 / scale;
+  for (std::size_t a = 0; a + 1 < orders_; ++a) {
+    const double* wa = w_.data() + a * n_ * s_;
+    double* wnext = w_.data() + (a + 1) * n_ * s_;
+    for (std::size_t i = 0; i < n_; ++i) {
+      double* out_row = wnext + i * s_;
+      for (std::size_t j = 0; j < n_; ++j) {
+        const double coeff = m(i, j) * inv_scale;
+        if (coeff == 0.0) continue;
+        const double* in_row = wa + j * s_;
+        for (std::size_t c = 0; c < s_; ++c) out_row[c] += coeff * in_row[c];
+      }
+    }
+  }
+  // Moment matrices T_w = Uhat^T W_w.
+  for (std::size_t w = 0; w < orders_; ++w) {
+    const double* ww = w_.data() + w * n_ * s_;
+    double* tw = t_.data() + w * s_ * s_;
+    for (std::size_t i = 0; i < n_; ++i) {
+      const double* u_row = w0 + i * s_;
+      const double* w_row = ww + i * s_;
+      for (std::size_t r = 0; r < s_; ++r) {
+        const double ur = u_row[r];
+        if (ur == 0.0) continue;
+        for (std::size_t c = 0; c < s_; ++c) tw[r * s_ + c] += ur * w_row[c];
+      }
+    }
+  }
+  // Gamma chain: Gamma_0 = -I; Gamma_m = -sum_{w<m} Gamma_{m-1-w} T_w.
+  // Gamma_m is symmetric in exact arithmetic (every composition word
+  // appears with both orientations), so symmetrize to kill drift. The
+  // g_abs_ chain propagates |terms| for the cancellation monitor.
+  for (std::size_t r = 0; r < s_; ++r) {
+    g_[r * s_ + r] = -1.0;
+    g_abs_[r * s_ + r] = 1.0;
+  }
+  for (std::size_t m_ord = 1; m_ord < orders_; ++m_ord) {
+    double* gm = g_.data() + m_ord * s_ * s_;
+    double* gm_abs = g_abs_.data() + m_ord * s_ * s_;
+    for (std::size_t w = 0; w < m_ord; ++w) {
+      const double* gprev = g_.data() + (m_ord - 1 - w) * s_ * s_;
+      const double* gprev_abs = g_abs_.data() + (m_ord - 1 - w) * s_ * s_;
+      const double* tw = t_.data() + w * s_ * s_;
+      for (std::size_t r = 0; r < s_; ++r) {
+        for (std::size_t p = 0; p < s_; ++p) {
+          const double gv = gprev[r * s_ + p];
+          const double ga = gprev_abs[r * s_ + p];
+          for (std::size_t c = 0; c < s_; ++c) {
+            gm[r * s_ + c] -= gv * tw[p * s_ + c];
+            gm_abs[r * s_ + c] += ga * std::abs(tw[p * s_ + c]);
+          }
+        }
+      }
+    }
+    for (std::size_t r = 0; r < s_; ++r) {
+      for (std::size_t c = r + 1; c < s_; ++c) {
+        const double sym = 0.5 * (gm[r * s_ + c] + gm[c * s_ + r]);
+        gm[r * s_ + c] = sym;
+        gm[c * s_ + r] = sym;
+        const double sym_abs = 0.5 * (gm_abs[r * s_ + c] + gm_abs[c * s_ + r]);
+        gm_abs[r * s_ + c] = sym_abs;
+        gm_abs[c * s_ + r] = sym_abs;
+      }
+    }
+  }
+}
+
+void BlockMomentProbe::downdated_traces(std::span<const double> base,
+                                        std::span<const double> base_abs,
+                                        std::size_t vmax,
+                                        std::vector<double>& out,
+                                        std::vector<double>& out_abs) const {
+  check_arg(vmax <= orders_, "BlockMomentProbe: vmax exceeds built orders");
+  check_arg(base.size() >= vmax && base_abs.size() >= vmax,
+            "BlockMomentProbe: base traces too short");
+  out.assign(base.begin(), base.begin() + static_cast<std::ptrdiff_t>(vmax));
+  out_abs.assign(base_abs.begin(),
+                 base_abs.begin() + static_cast<std::ptrdiff_t>(vmax));
+  if (s_ == 0) return;
+  // t'_v = t_v + sum_{m+w=v-1} (w+1) tr(Gamma_m T_w).
+  for (std::size_t v = 1; v <= vmax; ++v) {
+    double acc = 0.0;
+    double acc_abs = 0.0;
+    for (std::size_t w = 0; w < v; ++w) {
+      const std::size_t m_ord = v - 1 - w;
+      const double* gm = g_.data() + m_ord * s_ * s_;
+      const double* gm_abs = g_abs_.data() + m_ord * s_ * s_;
+      const double* tw = t_.data() + w * s_ * s_;
+      double tr = 0.0;
+      double tr_abs = 0.0;
+      for (std::size_t r = 0; r < s_; ++r) {
+        for (std::size_t c = 0; c < s_; ++c) {
+          tr += gm[r * s_ + c] * tw[c * s_ + r];
+          tr_abs += gm_abs[r * s_ + c] * std::abs(tw[c * s_ + r]);
+        }
+      }
+      const auto mult = static_cast<double>(w + 1);
+      acc += mult * tr;
+      acc_abs += mult * tr_abs;
+    }
+    out[v - 1] += acc;
+    out_abs[v - 1] += acc_abs;
+  }
+}
+
+void BlockMomentProbe::downdated_diag(std::span<const double> base,
+                                      std::span<const double> base_abs,
+                                      std::size_t vmax,
+                                      std::vector<double>& out,
+                                      std::vector<double>& out_abs) const {
+  check_arg(vmax <= orders_, "BlockMomentProbe: vmax exceeds built orders");
+  check_arg(base.size() >= vmax * n_ && base_abs.size() >= vmax * n_,
+            "BlockMomentProbe: base diagonal moments too short");
+  out.assign(base.begin(),
+             base.begin() + static_cast<std::ptrdiff_t>(vmax * n_));
+  out_abs.assign(base_abs.begin(),
+                 base_abs.begin() + static_cast<std::ptrdiff_t>(vmax * n_));
+  if (s_ == 0) return;
+  // d'_v[i] = d_v[i] + sum_{a+b+m=v-1} w_a[i]^T Gamma_m w_b[i]; the
+  // (a,b) and (b,a) terms agree because Gamma_m is symmetric, so sweep
+  // a <= b with a factor of two off the diagonal.
+  std::vector<double> gw(s_), gw_abs(s_);
+  for (std::size_t i = 0; i < n_; ++i) {
+    for (std::size_t v = 1; v <= vmax; ++v) {
+      double acc = 0.0;
+      double acc_abs = 0.0;
+      for (std::size_t a = 0; a < v; ++a) {
+        const double* wa = w_.data() + a * n_ * s_ + i * s_;
+        for (std::size_t b = a; a + b < v; ++b) {
+          const std::size_t m_ord = v - 1 - a - b;
+          const double* gm = g_.data() + m_ord * s_ * s_;
+          const double* gm_abs = g_abs_.data() + m_ord * s_ * s_;
+          const double* wb = w_.data() + b * n_ * s_ + i * s_;
+          for (std::size_t r = 0; r < s_; ++r) {
+            double dot = 0.0;
+            double dot_abs = 0.0;
+            for (std::size_t c = 0; c < s_; ++c) {
+              dot += gm[r * s_ + c] * wb[c];
+              dot_abs += gm_abs[r * s_ + c] * std::abs(wb[c]);
+            }
+            gw[r] = dot;
+            gw_abs[r] = dot_abs;
+          }
+          double q = 0.0;
+          double q_abs = 0.0;
+          for (std::size_t r = 0; r < s_; ++r) {
+            q += wa[r] * gw[r];
+            q_abs += std::abs(wa[r]) * gw_abs[r];
+          }
+          const double mult = (a == b) ? 1.0 : 2.0;
+          acc += mult * q;
+          acc_abs += mult * q_abs;
+        }
+      }
+      out[(v - 1) * n_ + i] += acc;
+      out_abs[(v - 1) * n_ + i] += acc_abs;
+    }
+  }
 }
 
 }  // namespace pardpp

@@ -71,4 +71,66 @@ void condition_ensemble_sym_into(const Matrix& l, std::span<const int> t,
 [[nodiscard]] std::vector<int> complement_indices(std::size_t n,
                                                   std::span<const int> subset);
 
+/// Factor-side moment probe of a symmetric elimination (DESIGN.md §2
+/// convention 9): the machinery that turns a Schur-complement
+/// conditioning step into *downdated power traces and diagonal moments*
+/// — the counting quantities of the conditional — without forming the
+/// reduced matrix or running an eigensolve.
+///
+/// For symmetric M with elimination block t, the conditional is
+/// M^t = M - Uhat Uhat^T on the kept indices, where Uhat^T = R^{-1}
+/// M[t,:] is the half-solve against the block factor M_tt = R R^T (the
+/// same forward substitution `schur_complement_sym_into` uses). With the
+/// Krylov blocks W_a = Mhat^a Uhat (Mhat = M/scale), moment matrices
+/// T_w = Uhat^T W_w, and the Gamma chain
+///   Gamma_0 = -I,   Gamma_m = -sum_{w<m} Gamma_{m-1-w} T_w,
+/// every power of the downdate expands exactly as
+///   (Mhat - Uhat Uhat^T)^v = Mhat^v
+///     + sum_{a+b+m=v-1} Mhat^a Uhat Gamma_m Uhat^T Mhat^b,
+/// so traces and diagonals of the conditional follow from the base ones
+/// by O(|t|^2) bilinear forms per entry. Cost: (orders-1)|t| matvecs to
+/// build, versus the O(n^3) eigensolve it replaces.
+///
+/// Every output carries a parallel |term| accumulation (the same
+/// cancellation-monitor convention as NewtonEsp): consumers must guard
+/// value/abs ratios and fall back to the spectral path when conditioning
+/// degrades.
+class BlockMomentProbe {
+ public:
+  /// Prepares the probe for eliminating `elim` from symmetric `m`,
+  /// scaled by 1/`scale`. `chol` must hold the factor of
+  /// m.principal(elim) (as grown by the commit/query paths). `orders`
+  /// Krylov blocks are built, supporting downdated quantities up to
+  /// power vmax = orders.
+  void build(const Matrix& m, double scale, std::span<const int> elim,
+             const IncrementalCholesky& chol, std::size_t orders);
+
+  /// Downdated traces: out[v-1] = tr(Mhat_t^v) for v = 1..vmax, given
+  /// base[v-1] = tr(Mhat^v). Requires vmax <= orders.
+  void downdated_traces(std::span<const double> base,
+                        std::span<const double> base_abs, std::size_t vmax,
+                        std::vector<double>& out,
+                        std::vector<double>& out_abs) const;
+
+  /// Downdated diagonal moments over the *full* index set (rows of the
+  /// eliminated block land at exactly zero up to accumulated drift — the
+  /// commit path's drift observable): out[(v-1)*n + i] = (Mhat_t^v)_ii
+  /// for v = 1..vmax, given the same layout in `base`. Requires
+  /// vmax <= orders.
+  void downdated_diag(std::span<const double> base,
+                      std::span<const double> base_abs, std::size_t vmax,
+                      std::vector<double>& out,
+                      std::vector<double>& out_abs) const;
+
+ private:
+  std::size_t n_ = 0;
+  std::size_t s_ = 0;
+  std::size_t orders_ = 0;
+  std::vector<double> w_;      // orders_ blocks of n_ x s_ (row-major)
+  std::vector<double> t_;      // orders_ blocks of s_ x s_
+  std::vector<double> g_;      // Gamma chain, s_ x s_ per order
+  std::vector<double> g_abs_;  // |term| chain of Gamma
+  std::vector<double> rows_scratch_;
+};
+
 }  // namespace pardpp

@@ -18,6 +18,10 @@ struct SampleDiagnostics {
   std::size_t oracle_calls = 0;       ///< counting-oracle queries issued
   std::size_t wave_count = 0;         ///< batched query_many rounds issued
   std::size_t wave_queries = 0;       ///< queries answered in those rounds
+  std::size_t spectral_refreshes = 0; ///< commit-path eigensolve fallbacks
+                                      ///< paid during this draw (0 on the
+                                      ///< factor-native fast path and on
+                                      ///< the condition() reference)
   PramStats pram;                     ///< PRAM depth/work/machines ledger
 
   /// Overall acceptance frequency of the rejection stages.

@@ -6,6 +6,7 @@
 
 #include "linalg/charpoly.h"
 #include "linalg/esp.h"
+#include "linalg/schur.h"
 #include "linalg/factory.h"
 #include "linalg/lu.h"
 #include "linalg/symmetric_eigen.h"
@@ -154,6 +155,126 @@ TEST(Esp, LargeValuesStayInLogDomain) {
   // e_150 = C(300,150) * 1e1500.
   EXPECT_NEAR(log_e[150], log_binomial(300, 150) + 150.0 * std::log(1e10),
               1e-6 * log_e[150]);
+}
+
+TEST(NewtonEsp, MatchesLogEspTableOnRandomSpectra) {
+  RandomStream rng(52);
+  for (int trial = 0; trial < 5; ++trial) {
+    const std::size_t n = 5 + static_cast<std::size_t>(rng.uniform_index(8));
+    const std::size_t jmax = std::min<std::size_t>(n, 6);
+    std::vector<double> lambda(n);
+    for (auto& v : lambda) v = rng.uniform() * 2.0 + 0.05;
+    std::vector<double> traces(jmax, 0.0);
+    for (const double lam : lambda) {
+      double p = 1.0;
+      for (std::size_t v = 1; v <= jmax; ++v) {
+        p *= lam;
+        traces[v - 1] += p;
+      }
+    }
+    const NewtonEsp ne = esp_from_power_traces(traces, jmax);
+    const LogEspTable table(lambda, jmax);
+    for (std::size_t j = 0; j <= jmax; ++j) {
+      ASSERT_TRUE(ne.well_conditioned(j, kEspCancelGuard))
+          << "trial " << trial << " j=" << j;
+      EXPECT_NEAR(std::log(ne.e[j]), table.log_e(j), 1e-12)
+          << "trial " << trial << " j=" << j;
+    }
+  }
+}
+
+TEST(NewtonEsp, CancellationMonitorFlagsNearRankDeficientSpectra) {
+  // A spectrum whose e_4 is ~1e-12 of the |term| mass: the alternating
+  // Newton sum cancels catastrophically and well_conditioned must say so
+  // (this is what routes the oracle fast paths to the spectral fallback).
+  const std::vector<double> lambda = {1.0, 1.0, 1.0, 1e-12};
+  std::vector<double> traces(4, 0.0);
+  for (const double lam : lambda) {
+    double p = 1.0;
+    for (std::size_t v = 1; v <= 4; ++v) {
+      p *= lam;
+      traces[v - 1] += p;
+    }
+  }
+  const NewtonEsp ne = esp_from_power_traces(traces, 4);
+  EXPECT_TRUE(ne.well_conditioned(3, kEspCancelGuard));
+  EXPECT_FALSE(ne.well_conditioned(4, kEspCancelGuard));
+}
+
+// ---- Block moment probe (factor-native Schur downdates) ----
+
+// Direct power traces / diagonal moments of mhat = m / scale.
+void direct_moments(const Matrix& m, double scale, std::size_t vmax,
+                    std::vector<double>& traces, std::vector<double>& diag) {
+  const std::size_t n = m.rows();
+  Matrix mhat = m;
+  mhat *= 1.0 / scale;
+  Matrix power = Matrix::identity(n);
+  traces.assign(vmax, 0.0);
+  diag.assign(vmax * n, 0.0);
+  for (std::size_t v = 1; v <= vmax; ++v) {
+    power = power * mhat;
+    traces[v - 1] = power.trace();
+    for (std::size_t i = 0; i < n; ++i) diag[(v - 1) * n + i] = power(i, i);
+  }
+}
+
+TEST(BlockMomentProbe, DowndatedMomentsMatchSchurComplement) {
+  RandomStream rng(53);
+  for (int trial = 0; trial < 4; ++trial) {
+    const std::size_t n = 8 + static_cast<std::size_t>(rng.uniform_index(5));
+    const Matrix m = random_psd(n, n, rng, 1e-2);
+    const std::size_t vmax = 4;
+    double scale = 0.0;
+    for (std::size_t i = 0; i < n; ++i) scale = std::max(scale, m(i, i));
+    const std::vector<int> elim = {1, static_cast<int>(n - 2)};
+    IncrementalCholesky chol(elim.size());
+    std::vector<double> row;
+    for (std::size_t r = 0; r < elim.size(); ++r) {
+      row.resize(r + 1);
+      for (std::size_t c = 0; c <= r; ++c)
+        row[c] = m(static_cast<std::size_t>(elim[r]),
+                   static_cast<std::size_t>(elim[c]));
+      ASSERT_TRUE(chol.append(row));
+    }
+    std::vector<double> base_traces;
+    std::vector<double> base_diag;
+    direct_moments(m, scale, vmax, base_traces, base_diag);
+    BlockMomentProbe probe;
+    probe.build(m, scale, elim, chol, vmax);
+    std::vector<double> traces;
+    std::vector<double> traces_abs;
+    std::vector<double> diag;
+    std::vector<double> diag_abs;
+    probe.downdated_traces(base_traces, base_traces, vmax, traces, traces_abs);
+    probe.downdated_diag(base_diag, base_diag, vmax, diag, diag_abs);
+    // Reference: moments of the Schur complement, embedded in the full
+    // index set (eliminated rows contribute exact zeros).
+    const auto keep = complement_indices(n, elim);
+    const auto schur = schur_complement(m, keep, elim, /*symmetric=*/true);
+    std::vector<double> want_traces;
+    std::vector<double> want_diag_reduced;
+    direct_moments(schur.reduced, scale, vmax, want_traces,
+                   want_diag_reduced);
+    for (std::size_t v = 1; v <= vmax; ++v) {
+      EXPECT_NEAR(traces[v - 1], want_traces[v - 1],
+                  1e-10 * std::max(1.0, traces_abs[v - 1]))
+          << "trial " << trial << " v=" << v;
+      for (std::size_t j = 0; j < keep.size(); ++j) {
+        const auto ki = static_cast<std::size_t>(keep[j]);
+        EXPECT_NEAR(diag[(v - 1) * n + ki],
+                    want_diag_reduced[(v - 1) * keep.size() + j],
+                    1e-10 * std::max(1.0, diag_abs[(v - 1) * n + ki]))
+            << "trial " << trial << " v=" << v << " i=" << ki;
+      }
+      // Eliminated rows land at zero up to monitored drift.
+      for (const int e : elim) {
+        const auto ei = static_cast<std::size_t>(e);
+        EXPECT_NEAR(diag[(v - 1) * n + ei], 0.0,
+                    1e-10 * std::max(1.0, diag_abs[(v - 1) * n + ei]));
+      }
+    }
+  }
 }
 
 // ---- Characteristic polynomial ----

@@ -553,6 +553,34 @@ TEST(CommittedOracleFuzz, SymmetricCommitMatchesCondition) {
   }
 }
 
+TEST(CommittedOracleFuzz, SymmetricCommitStaysOnFactorNativePath) {
+  // On a well-conditioned kernel the commit path must never pay the
+  // eigensolve fallback: every round's counting basis comes from the
+  // Cholesky-native downdate, and the refresh counter stays at zero
+  // across full draws and reset() cycles. The condition() reference
+  // wrapper reports zero by construction.
+  RandomStream rng(515207);
+  const std::size_t n = 48;
+  const std::size_t k = 6;
+  const Matrix l = random_psd(n, n, rng, 1e-2);
+  const SymmetricKdppOracle oracle(l, k);
+  const auto committed = oracle.make_committed();
+  for (int pass = 0; pass < 3; ++pass) {
+    if (pass > 0) committed->reset();
+    while (committed->committed_count() < k) {
+      const auto p = committed->marginals();
+      std::size_t best = 0;
+      for (std::size_t i = 1; i < p.size(); ++i)
+        if (p[i] > p[best]) best = i;
+      const std::vector<int> batch = {static_cast<int>(best)};
+      committed->commit(batch, std::log(p[best]));
+    }
+    EXPECT_EQ(committed->spectral_refreshes(), 0u);
+  }
+  const auto reference = make_condition_reference(oracle);
+  EXPECT_EQ(reference->spectral_refreshes(), 0u);
+}
+
 TEST(CommittedOracleFuzz, LowRankCommitMatchesCondition) {
   RandomStream rng(515202);
   for (int round = 0; round < 6; ++round) {
