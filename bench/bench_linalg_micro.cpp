@@ -1,8 +1,26 @@
-// Google-benchmark microbenchmarks of the linear-algebra substrate — the
-// Õ(1)-depth "oracle primitives" every PRAM round charges. These calibrate
-// the wall-clock cost behind one depth unit at various sizes.
+// Microbenchmarks of the linear-algebra substrate — the Õ(1)-depth
+// "oracle primitives" every PRAM round charges. These calibrate the
+// wall-clock cost behind one depth unit at various sizes.
+//
+// Run with no arguments (the CI smoke mode), the binary times each
+// dispatched kernel against the scalar arm in-process (via
+// ScopedPathOverride, interleaved min-of-repeats) and writes the series
+// to bench-out/BENCH_linalg_micro.json — experiment `linalg_micro` in
+// the DESIGN.md §3 index. A record sets "regression": true when the
+// AVX2 arm is active but a headline kernel (gemm_nt, syrk_ut) falls
+// under 2x over scalar — the floor the dispatch layer is sized for.
+// When the scalar arm is active (forced or no AVX2), dispatched ==
+// scalar and the ratio is reported as parity, never as a regression.
+//
+// Any google-benchmark flag switches the binary to the interactive
+// google-benchmark suite below instead.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
 #include "dpp/charpoly_engine.h"
 #include "dpp/ensemble.h"
 #include "linalg/cholesky.h"
@@ -10,8 +28,10 @@
 #include "linalg/factory.h"
 #include "linalg/lu.h"
 #include "linalg/pfaffian.h"
+#include "linalg/simd.h"
 #include "linalg/symmetric_eigen.h"
 #include "support/random.h"
+#include "support/timer.h"
 
 namespace {
 
@@ -182,6 +202,175 @@ void BM_EngineJointMarginal(benchmark::State& state) {
 }
 BENCHMARK(BM_EngineJointMarginal)->Arg(24)->Arg(48)->Arg(96);
 
+// --- scalar-vs-dispatched kernel series (bench-out/BENCH_linalg_micro) ---
+
+using bench::JsonSeries;
+
+/// Wall clocks of one kernel on both dispatch arms, per call.
+struct ArmTiming {
+  double dispatched_ms = 0.0;
+  double scalar_ms = 0.0;
+};
+
+/// Times `fn` under the latched dispatch path and under a forced scalar
+/// override: one untimed warmup per arm, then `repeats` timed passes of
+/// `iters` calls each, *interleaving* the arms so slow host drift hits
+/// both equally, keeping the minimum per arm. The sample-level protocol
+/// of run_thread_sweep, specialized to the two-arm comparison.
+template <typename Fn>
+ArmTiming time_arms(int repeats, int iters, Fn&& fn) {
+  {
+    const simd::ScopedPathOverride scalar_arm(simd::Path::kScalar);
+    fn();
+  }
+  fn();
+  ArmTiming best;
+  for (int r = 0; r < repeats; ++r) {
+    {
+      const simd::ScopedPathOverride scalar_arm(simd::Path::kScalar);
+      Timer timer;
+      for (int i = 0; i < iters; ++i) fn();
+      const double ms = timer.millis();
+      if (r == 0 || ms < best.scalar_ms) best.scalar_ms = ms;
+    }
+    {
+      Timer timer;
+      for (int i = 0; i < iters; ++i) fn();
+      const double ms = timer.millis();
+      if (r == 0 || ms < best.dispatched_ms) best.dispatched_ms = ms;
+    }
+  }
+  best.dispatched_ms /= iters;
+  best.scalar_ms /= iters;
+  return best;
+}
+
+/// Emits one record of the series and prints the matching table row.
+/// `headline` marks the two kernels the >=2x dispatch floor applies to.
+void record_kernel(JsonSeries& json, bench::Table& table,
+                   const char* kernel, std::size_t n, std::size_t d,
+                   bool headline, const ArmTiming& timing) {
+  const bool avx2_active = simd::active_path() == simd::Path::kAvx2;
+  const double speedup =
+      timing.dispatched_ms > 0.0 ? timing.scalar_ms / timing.dispatched_ms
+                                 : 1.0;
+  const double reported = bench::reported_speedup(speedup);
+  const bool regression = headline && avx2_active && reported < 2.0;
+  table.add_row({kernel, bench::fmt_int(n), bench::fmt_int(d),
+                 bench::fmt(timing.scalar_ms * 1e3, 1),
+                 bench::fmt(timing.dispatched_ms * 1e3, 1),
+                 bench::fmt(reported, 1) + "x",
+                 regression ? "REGRESSION" : (headline ? "ok" : "-")});
+  json.add_record(
+      {JsonSeries::text("experiment", "linalg_micro"),
+       JsonSeries::text("kernel", kernel), JsonSeries::number("n", n),
+       JsonSeries::number("d", d),
+       JsonSeries::number("wall_ms", timing.dispatched_ms, 6),
+       JsonSeries::number("scalar_ms", timing.scalar_ms, 6),
+       JsonSeries::number("speedup", reported, 1),
+       JsonSeries::boolean("regression", regression)});
+}
+
+/// The scalar-vs-dispatched series at the shapes the samplers actually
+/// run: d = 24 feature Grams (syrk_ut / gemm_nt over row counts up to
+/// the intermediate-sampling pool), dot at the Cholesky row lengths, and
+/// the n = 128 Schur half-solve.
+int run_kernel_series() {
+  bench::print_header(
+      "linalg_micro", "BENCH_linalg_micro.json",
+      "runtime-dispatched SIMD kernels hold >=2x over the scalar arm "
+      "on the GEMM/SYRK hot paths (parity when scalar is forced)");
+  std::printf("dispatch: %s (PARDPP_SIMD=%s)\n", simd::path_name(),
+              std::getenv("PARDPP_SIMD") ? std::getenv("PARDPP_SIMD")
+                                         : "unset");
+  JsonSeries json;
+  bench::Table table({"kernel", "n", "d", "scalar_us", "dispatched_us",
+                      "speedup", "gate"});
+  constexpr int kRepeats = 5;
+  constexpr std::size_t kD = 24;
+
+  for (const std::size_t n : {std::size_t{256}, std::size_t{1024},
+                              std::size_t{4096}}) {
+    const int iters = static_cast<int>(16384 / n);
+    RandomStream rng(17);
+    const Matrix b = random_gaussian(n, kD, rng);
+    Matrix g(kD, kD);
+    const ArmTiming syrk = time_arms(kRepeats, iters, [&] {
+      std::fill(g.flat().begin(), g.flat().end(), 0.0);
+      sym_rank_k_update(g, 1.0, b.flat().data(), n, kD, kD);
+      benchmark::DoNotOptimize(g(0, 0));
+    });
+    record_kernel(json, table, "syrk_ut", n, kD, /*headline=*/true, syrk);
+  }
+
+  for (const std::size_t n : {std::size_t{256}, std::size_t{1024},
+                              std::size_t{4096}}) {
+    const int iters = static_cast<int>(16384 / n);
+    RandomStream rng(19);
+    const Matrix a = random_gaussian(n, kD, rng);
+    const Matrix b = random_gaussian(kD, kD, rng);
+    const ArmTiming gemm = time_arms(kRepeats, iters, [&] {
+      Matrix c = multiply_transposed_b(a, b);
+      benchmark::DoNotOptimize(c(0, 0));
+    });
+    record_kernel(json, table, "gemm_nt", n, kD, /*headline=*/true, gemm);
+  }
+
+  for (const std::size_t n : {std::size_t{24}, std::size_t{128},
+                              std::size_t{1024}}) {
+    RandomStream rng(23);
+    const Matrix a = random_gaussian(2, n, rng);
+    const int iters = static_cast<int>(262144 / n);
+    const ArmTiming dot = time_arms(kRepeats, iters, [&] {
+      benchmark::DoNotOptimize(
+          simd::dot(a.row(0).data(), a.row(1).data(), n));
+    });
+    record_kernel(json, table, "dot", n, 1, /*headline=*/false, dot);
+  }
+
+  {
+    // The conditioning half-solve: R^{-1} B for the n = 128 ensemble
+    // against a d = 24 feature block (feature_oracle's W solve).
+    constexpr std::size_t kN = 128;
+    RandomStream rng(29);
+    const Matrix a = random_psd(kN, kN, rng, 1e-6);
+    IncrementalCholesky chol(kN);
+    std::vector<double> row(kN);
+    for (std::size_t r = 0; r < kN; ++r) {
+      for (std::size_t c = 0; c <= r; ++c) row[c] = a(r, c);
+      if (!chol.append(std::span<const double>(row.data(), r + 1))) {
+        std::printf("! half-solve fixture not PD; skipping\n");
+        break;
+      }
+    }
+    if (chol.size() == kN) {
+      const Matrix rhs = random_gaussian(kN, kD, rng);
+      std::vector<double> work(kN * kD);
+      const ArmTiming solve = time_arms(kRepeats, 128, [&] {
+        std::copy(rhs.flat().begin(), rhs.flat().end(), work.begin());
+        chol.forward_solve_rows(work.data(), kD, kD);
+        benchmark::DoNotOptimize(work[0]);
+      });
+      record_kernel(json, table, "forward_solve", kN, kD,
+                    /*headline=*/false, solve);
+    }
+  }
+
+  table.print();
+  json.write(bench::bench_out_path("BENCH_linalg_micro.json"));
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+/// No arguments: the JSON kernel series (what CI's bench smoke runs).
+/// Any argument (e.g. --benchmark_filter=...) switches to the
+/// interactive google-benchmark suite registered above.
+int main(int argc, char** argv) {
+  if (argc <= 1) return run_kernel_series();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

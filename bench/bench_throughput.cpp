@@ -124,15 +124,18 @@ void run_config(const CountingOracle& oracle, const ThroughputConfig& config,
     const bool regression = vs_pool1 < 1.0;
     any_regression = any_regression || regression || !identical;
     // Acceptance targets over the per-sample condition() baseline at
-    // n >= 128: >= 5x for the low-rank family, and >= 3x for the dense
-    // symmetric family, whose commit path now runs factor-native
-    // (Cholesky downdates + Newton ESPs per accepted round) while the
-    // baseline re-runs the spectral preprocessing per draw. The
-    // `refreshes` column counts eigensolve fallbacks paid by the commit
-    // path — 0 on well-conditioned kernels.
-    if (config.d != 0 && config.n >= 128 && vs_condition < 5.0)
+    // n >= 128: >= 7x for the low-rank family, and >= 14x for the dense
+    // symmetric family. The commit path runs factor-native (Cholesky
+    // downdates + Newton ESPs per accepted round) while the baseline
+    // re-runs the spectral preprocessing per draw; the dispatched SIMD
+    // kernels under both widened the gap (measured 8.9x / 18.7x on the
+    // reference container with AVX2 active), so the gates sit about a
+    // 20-25% margin below measurement. The `refreshes` column counts
+    // eigensolve fallbacks paid by the commit path — 0 on
+    // well-conditioned kernels.
+    if (config.d != 0 && config.n >= 128 && vs_condition < 7.0)
       any_below_target = true;
-    if (config.d == 0 && config.n >= 128 && vs_condition < 3.0)
+    if (config.d == 0 && config.n >= 128 && vs_condition < 14.0)
       any_below_target = true;
     table.add_row({fmt_int(pool_size), fmt(wall_ms[p], 1), fmt(sps, 1),
                    fmt(vs_pool1, 1), fmt(vs_condition, 1),
@@ -164,8 +167,8 @@ void run_config(const CountingOracle& oracle, const ThroughputConfig& config,
 int main() {
   print_header(
       "EXP-THR", "SamplerSession commit-path throughput",
-      "amortized preprocessing + factor-native commit rounds serve >= 5x "
-      "(low-rank) and >= 3x (dense symmetric, eigensolve-free rounds) the "
+      "amortized preprocessing + factor-native commit rounds serve >= 7x "
+      "(low-rank) and >= 14x (dense symmetric, eigensolve-free rounds) the "
       "samples/sec of the per-sample condition() baseline at n >= 128, "
       "bit-identical samples at every pool size");
   JsonSeries json;
@@ -197,7 +200,7 @@ int main() {
                 "from the condition() reference\n");
   if (any_below_target)
     std::printf("\n! TARGET MISSED: commit path below its family target "
-                "(5x low-rank, 3x dense symmetric) over the condition() "
+                "(7x low-rank, 14x dense symmetric) over the condition() "
                 "baseline\n");
   json.write(bench_out_path("BENCH_throughput.json"));
   return 0;

@@ -19,6 +19,7 @@
 #include <unistd.h>
 #endif
 
+#include "linalg/simd.h"
 #include "parallel/execution.h"
 #include "parallel/thread_pool.h"
 #include "sampling/diagnostics.h"
@@ -277,6 +278,10 @@ class JsonSeries {
         break;
       }
       out.push_back(text("host_cpu_model", model));
+      // Selected dispatch arm (latched PARDPP_SIMD resolution). Wall
+      // clocks measured on different arms are not comparable — the
+      // comparator treats a mismatch like a host change (advisory).
+      out.push_back(text("simd", simd::path_name()));
       return out;
     }();
     return fields;

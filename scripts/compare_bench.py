@@ -17,6 +17,14 @@ the mode for comparing against the in-repo BENCH_trajectory.json
 snapshot, which is recorded on a different machine class than the CI
 runners.
 
+Parallel scaling is a first-class trajectory metric: records that carry
+a `pool` identity field are grouped by identity-minus-pool, each pool's
+speedup over the group's pool-1 record is computed from `wall_ms`, and
+the speedups are compared between baseline and current. A scaling drop
+beyond the thresholds gates — but only when `host_cpus` agree on both
+sides; speedups measured on different core counts are never comparable,
+so a mismatch downgrades the drop to advisory.
+
 Snapshot mode (`--write-snapshot FILE DIR`) curates the trajectory file
 tracked in-repo: identity fields plus wall-time measurements, sorted by
 key, so the diff of a PR shows exactly which timings moved.
@@ -30,6 +38,7 @@ import sys
 # Measurement fields: compared as timings (lower is better) when present.
 TIME_FIELDS = (
     "wall_ms",
+    "scalar_ms",
     "draw_ms",
     "prime_ms",
     "full_draw_ms",
@@ -42,8 +51,10 @@ TIME_FIELDS = (
 # consulted when gating: a mismatch between baseline and current host
 # downgrades fail-level slowdowns to warnings, because wall-clock deltas
 # measured on different hardware are advisory, not evidence of a code
-# regression.
-HOST_FIELDS = ("host_cpus", "host_nproc", "host_cpu_model")
+# regression. `simd` (the dispatch arm the run selected) is provenance
+# for the same reason: a scalar-forced run is not comparable to an AVX2
+# run, so a cross-arm pair is treated exactly like a host change.
+HOST_FIELDS = ("host_cpus", "host_nproc", "host_cpu_model", "simd")
 
 # Fields that are measurements or run-dependent flags, never identity.
 NON_IDENTITY_FIELDS = set(TIME_FIELDS) | set(HOST_FIELDS) | {
@@ -103,6 +114,100 @@ def host_mismatch(base, record):
         and str(base[field]) != str(record[field])
         for field in HOST_FIELDS
     )
+
+
+def cpus_match(base, record):
+    """True only when both records agree on host_cpus.
+
+    Stricter than `not host_mismatch`: parallel-scaling comparisons need
+    a positively matching core count to gate, so a record missing the
+    stamp (pre-provenance snapshots) stays advisory rather than gating
+    against an unknown baseline topology.
+    """
+    return (
+        "host_cpus" in base and "host_cpus" in record
+        and str(base["host_cpus"]) == str(record["host_cpus"])
+    )
+
+
+def scaling_speedups(records):
+    """-> {(file, identity-minus-pool, pool): (speedup, record)}.
+
+    Groups records that carry a `pool` identity field by everything else
+    in their identity, then computes each pool's speedup over the
+    group's pool-1 wall clock. Groups without a pool-1 record (or with a
+    non-positive reference) contribute nothing.
+    """
+    groups = {}
+    for (name, identity), record in records.items():
+        pool = None
+        rest = []
+        for field, value in identity:
+            if field == "pool":
+                pool = value
+            else:
+                rest.append((field, value))
+        if pool is None or "wall_ms" not in record:
+            continue
+        try:
+            pool = int(pool)
+        except (TypeError, ValueError):
+            continue
+        groups.setdefault((name, tuple(rest)), {})[pool] = record
+    speedups = {}
+    for (name, rest), by_pool in groups.items():
+        reference = by_pool.get(1)
+        if reference is None:
+            continue
+        ref_wall = float(reference["wall_ms"])
+        if ref_wall <= 0.0:
+            continue
+        for pool, record in by_pool.items():
+            if pool == 1:
+                continue
+            wall = float(record["wall_ms"])
+            if wall <= 0.0:
+                continue
+            speedups[(name, rest, pool)] = (ref_wall / wall, record)
+    return speedups
+
+
+def compare_scaling(baseline, current, warn, fail, advisory):
+    """Gates per-pool speedups; -> (matched, warnings, failures)."""
+    base_scaling = scaling_speedups(baseline)
+    cur_scaling = scaling_speedups(current)
+    matched = 0
+    warnings = 0
+    failures = 0
+    for key, (cur_speedup, cur_record) in sorted(cur_scaling.items()):
+        if key not in base_scaling:
+            continue
+        base_speedup, base_record = base_scaling[key]
+        matched += 1
+        name, rest, pool = key
+        fields = ", ".join(f"{field}={value}" for field, value in rest)
+        line = (
+            f"{name} [{fields}] scaling@pool={pool}: "
+            f"{base_speedup:.2f}x -> {cur_speedup:.2f}x"
+        )
+        comparable = cpus_match(base_record, cur_record)
+        if cur_speedup < base_speedup * (1.0 - fail):
+            if not comparable:
+                warnings += 1
+                print(
+                    "::warning::scaling drop beyond fail threshold "
+                    f"(host_cpus differ: advisory): {line}"
+                )
+            else:
+                failures += 1
+                level = "warning" if advisory else "error"
+                print(f"::{level}::scaling drop beyond fail threshold: {line}")
+        elif cur_speedup < base_speedup * (1.0 - warn):
+            warnings += 1
+            print(f"::warning::scaling drop: {line}")
+        else:
+            print(f"ok: {line}")
+    return matched, warnings, failures
 
 
 def describe(key):
@@ -165,9 +270,15 @@ def compare(baseline_dir, current_dir, warn, fail, advisory):
         if key not in current:
             print(f"baseline record disappeared: {describe(key)}")
 
+    scaled, scale_warn, scale_fail = compare_scaling(
+        baseline, current, warn, fail, advisory
+    )
+    warnings += scale_warn
+    failures += scale_fail
+
     print(
-        f"\ncompared {matched} timings: {warnings} warnings, "
-        f"{failures} beyond the fail threshold"
+        f"\ncompared {matched} timings and {scaled} scaling points: "
+        f"{warnings} warnings, {failures} beyond the fail threshold"
         + (" (advisory)" if advisory else "")
     )
     return 1 if failures and not advisory else 0

@@ -20,12 +20,17 @@ HOST_A = {
     "host_cpus": 8,
     "host_nproc": 8,
     "host_cpu_model": "TestCPU v1",
+    "simd": "avx2",
 }
 HOST_B = {
     "host_cpus": 64,
     "host_nproc": 32,
     "host_cpu_model": "TestCPU v2",
+    "simd": "avx2",
 }
+# Same machine as HOST_A but run with the scalar fallback forced
+# (PARDPP_SIMD=scalar): timings across dispatch arms are advisory.
+HOST_A_SCALAR = dict(HOST_A, simd="scalar")
 
 
 def record(wall_ms, host=None, **identity):
@@ -100,6 +105,107 @@ class CompareBenchTest(unittest.TestCase):
         baseline = self.write_dir("baseline", [record(100.0)])
         current = self.write_dir("current", [record(200.0, HOST_A)])
         self.assertEqual(self.compare(baseline, current), 1)
+
+    def test_simd_arm_mismatch_downgrades_regression_to_warning(self):
+        # Same machine, but the current run forced the scalar fallback:
+        # the slowdown is the arm, not a code regression.
+        baseline = self.write_dir("baseline", [record(100.0, HOST_A)])
+        current = self.write_dir("current", [record(200.0, HOST_A_SCALAR)])
+        self.assertEqual(self.compare(baseline, current), 0)
+
+    def test_scaling_regression_gates_on_matching_host_cpus(self):
+        # Pool-4 wall clock is unchanged, but the pool-1 reference got
+        # faster, so the parallel speedup collapsed 4.0x -> 2.0x. No
+        # individual timing regresses; only the scaling gate can catch
+        # this.
+        baseline = self.write_dir(
+            "baseline",
+            [record(100.0, HOST_A, pool=1), record(25.0, HOST_A, pool=4)],
+        )
+        current = self.write_dir(
+            "current",
+            [record(50.0, HOST_A, pool=1), record(25.0, HOST_A, pool=4)],
+        )
+        self.assertEqual(self.compare(baseline, current), 1)
+        self.assertEqual(self.compare(baseline, current, advisory=True), 0)
+
+    def test_scaling_drop_across_host_cpus_is_advisory(self):
+        # Same speedup collapse, but the runs disagree on host_cpus:
+        # speedups from different core counts are never comparable.
+        baseline = self.write_dir(
+            "baseline",
+            [record(100.0, HOST_A, pool=1), record(25.0, HOST_A, pool=4)],
+        )
+        current = self.write_dir(
+            "current",
+            [record(50.0, HOST_B, pool=1), record(25.0, HOST_B, pool=4)],
+        )
+        self.assertEqual(self.compare(baseline, current), 0)
+
+    def test_scaling_improvement_passes(self):
+        baseline = self.write_dir(
+            "baseline",
+            [record(100.0, HOST_A, pool=1), record(50.0, HOST_A, pool=4)],
+        )
+        current = self.write_dir(
+            "current",
+            [record(100.0, HOST_A, pool=1), record(25.0, HOST_A, pool=4)],
+        )
+        self.assertEqual(self.compare(baseline, current), 0)
+
+    def test_scaling_without_pool1_reference_is_skipped(self):
+        # A baseline that never recorded pool 1 yields no speedup to
+        # compare against; the current run's scaling is informational.
+        baseline = self.write_dir(
+            "baseline", [record(25.0, HOST_A, pool=4)]
+        )
+        current = self.write_dir(
+            "current",
+            [record(1000.0, HOST_A, pool=1), record(25.0, HOST_A, pool=4)],
+        )
+        self.assertEqual(self.compare(baseline, current), 0)
+
+    def test_scaling_speedups_groups_by_identity_minus_pool(self):
+        records = compare_bench.load_records(
+            self.write_dir(
+                "out",
+                [
+                    record(100.0, HOST_A, pool=1, n=64),
+                    record(25.0, HOST_A, pool=4, n=64),
+                    record(200.0, HOST_A, pool=1, n=128),
+                    record(40.0, HOST_A, pool=4, n=128),
+                ],
+            )
+        )
+        speedups = compare_bench.scaling_speedups(records)
+        self.assertEqual(len(speedups), 2)
+        by_n = {
+            dict(rest)["n"]: speedup
+            for (_, rest, _), (speedup, _) in speedups.items()
+        }
+        self.assertAlmostEqual(by_n[64], 4.0)
+        self.assertAlmostEqual(by_n[128], 5.0)
+
+    def test_snapshot_round_trip_keeps_scaling_gate_live(self):
+        bench_dir = self.write_dir(
+            "out",
+            [record(100.0, HOST_A, pool=1), record(25.0, HOST_A, pool=4)],
+        )
+        snapshot = os.path.join(self.tmp, "BENCH_trajectory.json")
+        self.assertEqual(compare_bench.write_snapshot(snapshot, bench_dir), 0)
+        exploded = compare_bench.snapshot_as_baseline(
+            snapshot, os.path.join(self.tmp, "exploded")
+        )
+        collapsed = self.write_dir(
+            "collapsed",
+            [record(50.0, HOST_A, pool=1), record(25.0, HOST_A, pool=4)],
+        )
+        self.assertEqual(self.compare(exploded, collapsed), 1)
+        other_cpus = self.write_dir(
+            "other-cpus",
+            [record(50.0, HOST_B, pool=1), record(25.0, HOST_B, pool=4)],
+        )
+        self.assertEqual(self.compare(exploded, other_cpus), 0)
 
     def test_snapshot_round_trip_preserves_host_fields(self):
         bench_dir = self.write_dir("out", [record(100.0, HOST_A)])

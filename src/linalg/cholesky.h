@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "linalg/matrix.h"
+#include "linalg/simd.h"
 #include "support/error.h"
 #include "support/logsum.h"
 
@@ -35,9 +36,9 @@ class CholeskyDecomposition {
   [[nodiscard]] std::vector<double> solve(std::vector<double> b) const {
     check_arg(b.size() == size(), "cholesky solve: size mismatch");
     const std::size_t n = size();
+    const simd::KernelTable& kernels = simd::active_kernels();
     for (std::size_t i = 0; i < n; ++i) {
-      double acc = b[i];
-      for (std::size_t j = 0; j < i; ++j) acc -= lower_(i, j) * b[j];
+      const double acc = b[i] - kernels.dot(lower_.row(i).data(), b.data(), i);
       b[i] = acc / lower_(i, i);
     }
     for (std::size_t ii = n; ii-- > 0;) {
@@ -163,14 +164,14 @@ class IncrementalCholesky {
     // are not poisoned by a rejected row's large diagonal.
     const double max_diag = std::max(max_diag_, std::abs(row[r]));
     const double threshold = std::max(tol_ * max_diag, 1e-300);
+    const simd::KernelTable& kernels = simd::active_kernels();
     for (std::size_t j = 0; j < r; ++j) {
-      double acc = row[j];
-      for (std::size_t k = 0; k < j; ++k)
-        acc -= lower_(r, k) * lower_(j, k);
+      const double acc =
+          row[j] - kernels.dot(lower_.row(r).data(), lower_.row(j).data(), j);
       lower_(r, j) = acc / lower_(j, j);
     }
-    double diag = row[r];
-    for (std::size_t k = 0; k < r; ++k) diag -= lower_(r, k) * lower_(r, k);
+    const double* row_r = lower_.row(r).data();
+    const double diag = row[r] - kernels.dot(row_r, row_r, r);
     if (diag <= threshold) return false;
     lower_(r, r) = std::sqrt(diag);
     log_det_ += 2.0 * std::log(lower_(r, r));
@@ -193,24 +194,22 @@ class IncrementalCholesky {
   /// form the incremental Schur complement consumes.
   void forward_solve_rows(double* b, std::size_t cols,
                           std::size_t stride) const {
+    const simd::KernelTable& kernels = simd::active_kernels();
     for (std::size_t i = 0; i < size_; ++i) {
       double* bi = b + i * stride;
       for (std::size_t k = 0; k < i; ++k) {
         const double l = lower_(i, k);
-        const double* bk = b + k * stride;
-        for (std::size_t c = 0; c < cols; ++c) bi[c] -= l * bk[c];
+        if (l == 0.0) continue;
+        kernels.axpy(bi, -l, b + k * stride, cols);
       }
-      const double inv = 1.0 / lower_(i, i);
-      for (std::size_t c = 0; c < cols; ++c) bi[c] *= inv;
+      kernels.scaled_copy(bi, 1.0 / lower_(i, i), bi, cols);
     }
   }
 
  private:
   [[nodiscard]] double dot(std::size_t i, std::size_t j) const noexcept {
-    double acc = 0.0;
-    for (std::size_t k = 0; k < std::min(i, j); ++k)
-      acc += lower_(i, k) * lower_(j, k);
-    return acc;
+    return simd::dot(lower_.row(i).data(), lower_.row(j).data(),
+                     std::min(i, j));
   }
 
   Matrix lower_;
@@ -313,15 +312,17 @@ inline void cholesky_update(Matrix& lower, std::span<double> v) {
     max_diag = std::max(max_diag, std::abs(a(i, i)));
   const double threshold = std::max(tol * max_diag, 1e-300);
   Matrix lower(n, n);
+  // Same dispatched dot as IncrementalCholesky::append, so the two
+  // factorizations of one matrix agree to the last bit.
+  const simd::KernelTable& kernels = simd::active_kernels();
   for (std::size_t j = 0; j < n; ++j) {
-    double diag = a(j, j);
-    for (std::size_t k = 0; k < j; ++k) diag -= lower(j, k) * lower(j, k);
+    const double* row_j = lower.row(j).data();
+    const double diag = a(j, j) - kernels.dot(row_j, row_j, j);
     if (diag <= threshold) return std::nullopt;
     const double ljj = std::sqrt(diag);
     lower(j, j) = ljj;
     for (std::size_t i = j + 1; i < n; ++i) {
-      double acc = a(i, j);
-      for (std::size_t k = 0; k < j; ++k) acc -= lower(i, k) * lower(j, k);
+      const double acc = a(i, j) - kernels.dot(lower.row(i).data(), row_j, j);
       lower(i, j) = acc / ljj;
     }
   }

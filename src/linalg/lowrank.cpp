@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "linalg/schur.h"
+#include "linalg/simd.h"
 #include "linalg/symmetric_eigen.h"
 #include "support/error.h"
 
@@ -11,7 +12,10 @@ namespace pardpp {
 LowRankEigen eigen_from_features(const Matrix& b, double rank_tol) {
   const std::size_t n = b.rows();
   const std::size_t d = b.cols();
-  const Matrix gram = b.transpose() * b;  // d x d
+  // d x d Gram by the blocked SYRK kernel: streams B's rows once instead
+  // of materializing the transpose and running the generic product.
+  Matrix gram(d, d);
+  sym_rank_k_update(gram, 1.0, b.flat().data(), n, d, d);
   const auto eig = symmetric_eigen(gram);
   double top = 0.0;
   for (const double v : eig.values) top = std::max(top, v);
@@ -45,13 +49,13 @@ Matrix gather_scaled_rows(const Matrix& b, std::span<const int> items,
             "gather_scaled_rows: scales/items size mismatch");
   const std::size_t d = b.cols();
   Matrix out(items.size(), d);
+  const simd::KernelTable& kernels = simd::active_kernels();
   for (std::size_t j = 0; j < items.size(); ++j) {
     check_arg(items[j] >= 0 && static_cast<std::size_t>(items[j]) < b.rows(),
               "gather_scaled_rows: index out of range");
     const auto src = b.row(static_cast<std::size_t>(items[j]));
     const double s = scales.empty() ? 1.0 : scales[j];
-    double* dst = out.row(j).data();
-    for (std::size_t c = 0; c < d; ++c) dst[c] = s * src[c];
+    kernels.scaled_copy(out.row(j).data(), s, src.data(), d);
   }
   return out;
 }
@@ -60,27 +64,24 @@ void orthonormalize_feature_rows(const Matrix& b, std::span<const int> t,
                                  std::vector<double>& q) {
   const std::size_t d = b.cols();
   q.resize(t.size() * d);
+  const simd::KernelTable& kernels = simd::active_kernels();
   for (std::size_t j = 0; j < t.size(); ++j) {
     check_arg(t[j] >= 0 && static_cast<std::size_t>(t[j]) < b.rows(),
               "orthonormalize_feature_rows: index out of range");
     const auto row = b.row(static_cast<std::size_t>(t[j]));
     double* qj = q.data() + j * d;
-    for (std::size_t c = 0; c < d; ++c) qj[c] = row[c];
+    kernels.scaled_copy(qj, 1.0, row.data(), d);
     for (int pass = 0; pass < 2; ++pass) {
       for (std::size_t prev = 0; prev < j; ++prev) {
         const double* qp = q.data() + prev * d;
-        double dot = 0.0;
-        for (std::size_t c = 0; c < d; ++c) dot += qj[c] * qp[c];
-        for (std::size_t c = 0; c < d; ++c) qj[c] -= dot * qp[c];
+        kernels.axpy(qj, -kernels.dot(qj, qp, d), qp, d);
       }
     }
-    double norm = 0.0;
-    for (std::size_t c = 0; c < d; ++c) norm += qj[c] * qj[c];
-    norm = std::sqrt(norm);
+    const double norm = std::sqrt(kernels.dot(qj, qj, d));
     check_numeric(norm > 1e-10,
                   "condition_features: B_T rows are linearly dependent "
                   "(conditioning on a probability-zero event)");
-    for (std::size_t c = 0; c < d; ++c) qj[c] /= norm;
+    kernels.scaled_copy(qj, 1.0 / norm, qj, d);
   }
 }
 

@@ -8,18 +8,63 @@
 //
 // `BasicMatrix<T>` is row-major and contiguous; `Matrix` is the real
 // (double) instantiation and `CMatrix` the complex one (used by the
-// roots-of-unity characteristic-polynomial oracle).
+// roots-of-unity characteristic-polynomial oracle). Storage is 64-byte
+// aligned (AlignedAllocator) and the double hot paths run on the
+// runtime-dispatched microkernels of linalg/simd.h (DESIGN.md §2
+// convention 10).
 #pragma once
 
 #include <complex>
 #include <cstddef>
+#include <new>
 #include <span>
+#include <type_traits>
 #include <vector>
 
+#include "linalg/simd.h"
 #include "parallel/execution.h"
 #include "support/error.h"
 
 namespace pardpp {
+
+/// Minimal allocator carrying a 64-byte alignment guarantee. Matrix
+/// storage allocated through it starts on a cache-line (and full AVX-512
+/// vector) boundary, so the dispatched microkernels' unaligned-load
+/// instructions run at aligned-load speed on row 0 — and on *every* row
+/// whenever the row length is a multiple of 8 doubles, which the hot
+/// shapes (d = 24 feature blocks, n = 128 Schur ensembles) satisfy. The
+/// leading dimension is deliberately *not* padded: `flat()` exposes
+/// contiguity (rows*cols elements) that gather/scatter and scratch-reuse
+/// code relies on, so padding would not be free here.
+template <typename T, std::size_t Alignment = 64>
+struct AlignedAllocator {
+  using value_type = T;
+  // The non-type Alignment parameter defeats the library's automatic
+  // allocator rebinding, so spell it out.
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+  static_assert(Alignment >= alignof(T) && (Alignment & (Alignment - 1)) == 0,
+                "Alignment must be a power of two covering alignof(T)");
+
+  AlignedAllocator() = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Alignment>&) noexcept {}
+
+  [[nodiscard]] T* allocate(std::size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t{Alignment}));
+  }
+  void deallocate(T* p, std::size_t n) noexcept {
+    ::operator delete(p, n * sizeof(T), std::align_val_t{Alignment});
+  }
+
+  template <typename U>
+  bool operator==(const AlignedAllocator<U, Alignment>&) const noexcept {
+    return true;
+  }
+};
 
 template <typename T>
 class BasicMatrix {
@@ -144,6 +189,12 @@ class BasicMatrix {
                                              const BasicMatrix& b) {
     check_arg(a.cols_ == b.rows_, "matrix *: inner dimension mismatch");
     BasicMatrix out(a.rows_, b.cols_);
+    // Deliberately *not* routed through the dispatched kernels: the
+    // inlined loop auto-vectorizes, and an indirect call per (i, k)
+    // pair costs more than the wider vectors win at the small inner
+    // lengths this generic product mostly sees. The double hot paths
+    // that matter (Gram, A Bᵀ) have coarse-grained dispatched kernels
+    // (multiply_transposed_b, sym_rank_k_update) instead.
     const auto compute_row = [&](std::size_t i) {
       for (std::size_t k = 0; k < a.cols_; ++k) {
         const T aik = a(i, k);
@@ -162,15 +213,24 @@ class BasicMatrix {
     return out;
   }
 
-  /// Matrix-vector product.
+  /// Matrix-vector product. The double instantiation runs on the
+  /// dispatched row-dot kernel, with the table lookup hoisted out of
+  /// the row loop (one override/latch resolution per matvec, not per
+  /// row).
   [[nodiscard]] std::vector<T> apply(std::span<const T> x) const {
     check_arg(x.size() == cols_, "apply: vector size mismatch");
     std::vector<T> y(rows_, T{});
-    for (std::size_t i = 0; i < rows_; ++i) {
-      T acc{};
-      const T* row_ptr = data_.data() + i * cols_;
-      for (std::size_t j = 0; j < cols_; ++j) acc += row_ptr[j] * x[j];
-      y[i] = acc;
+    if constexpr (std::is_same_v<T, double>) {
+      const simd::KernelTable& kernels = simd::active_kernels();
+      for (std::size_t i = 0; i < rows_; ++i)
+        y[i] = kernels.dot(data_.data() + i * cols_, x.data(), cols_);
+    } else {
+      for (std::size_t i = 0; i < rows_; ++i) {
+        const T* row_ptr = data_.data() + i * cols_;
+        T acc{};
+        for (std::size_t j = 0; j < cols_; ++j) acc += row_ptr[j] * x[j];
+        y[i] = acc;
+      }
     }
     return y;
   }
@@ -218,7 +278,7 @@ class BasicMatrix {
  private:
   std::size_t rows_ = 0;
   std::size_t cols_ = 0;
-  std::vector<T> data_;
+  std::vector<T, AlignedAllocator<T>> data_;
 };
 
 using Matrix = BasicMatrix<double>;
@@ -228,8 +288,9 @@ using CMatrix = BasicMatrix<std::complex<double>>;
 /// their *rows*, so every inner product walks contiguous memory — the
 /// cache-friendly orientation for the Gram/projection hot paths, where the
 /// naive `a * b.transpose()` would first materialize the transpose. The
-/// j-loop is tiled so a block of B rows stays resident in L1 across
-/// consecutive rows of A.
+/// whole tiled loop nest runs behind one kernel dispatch (simd::gemm_nt):
+/// at the d = 24 feature widths the inner products are too short to pay
+/// an indirect call each.
 [[nodiscard]] inline Matrix multiply_transposed_b(const Matrix& a,
                                                   const Matrix& b) {
   check_arg(a.cols() == b.cols(),
@@ -238,41 +299,9 @@ using CMatrix = BasicMatrix<std::complex<double>>;
   const std::size_t n = b.rows();
   const std::size_t k = a.cols();
   Matrix out(m, n);
-  constexpr std::size_t kTile = 64;
-  for (std::size_t j0 = 0; j0 < n; j0 += kTile) {
-    const std::size_t j1 = std::min(n, j0 + kTile);
-    for (std::size_t i = 0; i < m; ++i) {
-      const double* arow = a.row(i).data();
-      double* orow = out.row(i).data();
-      // Four B rows share each arow load, and the four independent
-      // accumulators break the single-dot dependency chain.
-      std::size_t j = j0;
-      for (; j + 4 <= j1; j += 4) {
-        const double* b0 = b.row(j).data();
-        const double* b1 = b.row(j + 1).data();
-        const double* b2 = b.row(j + 2).data();
-        const double* b3 = b.row(j + 3).data();
-        double acc0 = 0.0, acc1 = 0.0, acc2 = 0.0, acc3 = 0.0;
-        for (std::size_t c = 0; c < k; ++c) {
-          const double av = arow[c];
-          acc0 += av * b0[c];
-          acc1 += av * b1[c];
-          acc2 += av * b2[c];
-          acc3 += av * b3[c];
-        }
-        orow[j] = acc0;
-        orow[j + 1] = acc1;
-        orow[j + 2] = acc2;
-        orow[j + 3] = acc3;
-      }
-      for (; j < j1; ++j) {
-        const double* brow = b.row(j).data();
-        double acc = 0.0;
-        for (std::size_t c = 0; c < k; ++c) acc += arow[c] * brow[c];
-        orow[j] = acc;
-      }
-    }
-  }
+  if (m == 0 || n == 0) return out;
+  simd::gemm_nt(out.flat().data(), n, a.flat().data(), k, m, b.flat().data(),
+                k, n, k);
   return out;
 }
 
@@ -280,26 +309,17 @@ using CMatrix = BasicMatrix<std::complex<double>>;
 /// of length `n` stored row-major with stride `stride` (a raw scratch
 /// buffer, e.g. the half-solved Y of an incremental Schur complement).
 /// Only the upper triangle is accumulated, then mirrored — C must be
-/// symmetric n x n on entry. Rows of A are processed in blocks so each
-/// pass over C's triangle reuses a resident strip of A.
+/// symmetric n x n on entry. The blocked triangle pass runs behind one
+/// kernel dispatch (simd::syrk_ut): rows of A are consumed in fixed
+/// blocks, fused four at a time, so a resident strip of A is reused
+/// across C's triangle without an indirect call per rank-1 update.
 inline void sym_rank_k_update(Matrix& c, double alpha, const double* a,
                               std::size_t r, std::size_t n,
                               std::size_t stride) {
   check_arg(c.rows() == n && c.cols() == n,
             "sym_rank_k_update: output shape mismatch");
-  constexpr std::size_t kBlock = 16;
-  for (std::size_t r0 = 0; r0 < r; r0 += kBlock) {
-    const std::size_t r1 = std::min(r, r0 + kBlock);
-    for (std::size_t i = 0; i < n; ++i) {
-      double* crow = c.row(i).data();
-      for (std::size_t p = r0; p < r1; ++p) {
-        const double* arow = a + p * stride;
-        const double s = alpha * arow[i];
-        if (s == 0.0) continue;
-        for (std::size_t j = i; j < n; ++j) crow[j] += s * arow[j];
-      }
-    }
-  }
+  if (n == 0) return;
+  simd::syrk_ut(c.flat().data(), n, alpha, a, r, n, stride);
   for (std::size_t i = 0; i < n; ++i)
     for (std::size_t j = i + 1; j < n; ++j) c(j, i) = c(i, j);
 }

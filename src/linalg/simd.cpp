@@ -1,0 +1,239 @@
+#include "linalg/simd.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#include "linalg/simd_block.inl"
+
+namespace pardpp::simd {
+
+namespace detail {
+
+double dot_scalar(const double* a, const double* b, std::size_t n) noexcept {
+  // Fixed blocked order: four independent accumulators over 4-element
+  // blocks (breaking the single-chain dependency), a scalar tail, then
+  // the combine ((acc0+acc1)+(acc2+acc3))+tail. Mirrors the AVX2 arm's
+  // block structure so the arms track each other closely.
+  double acc0 = 0.0, acc1 = 0.0, acc2 = 0.0, acc3 = 0.0;
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    acc0 += a[i] * b[i];
+    acc1 += a[i + 1] * b[i + 1];
+    acc2 += a[i + 2] * b[i + 2];
+    acc3 += a[i + 3] * b[i + 3];
+  }
+  double tail = 0.0;
+  for (; i < n; ++i) tail += a[i] * b[i];
+  return ((acc0 + acc1) + (acc2 + acc3)) + tail;
+}
+
+void dot4_scalar(const double* a, const double* b0, const double* b1,
+                 const double* b2, const double* b3, std::size_t n,
+                 double* out) noexcept {
+  double acc0 = 0.0, acc1 = 0.0, acc2 = 0.0, acc3 = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double av = a[i];
+    acc0 += av * b0[i];
+    acc1 += av * b1[i];
+    acc2 += av * b2[i];
+    acc3 += av * b3[i];
+  }
+  out[0] = acc0;
+  out[1] = acc1;
+  out[2] = acc2;
+  out[3] = acc3;
+}
+
+void axpy_scalar(double* y, double alpha, const double* x,
+                 std::size_t n) noexcept {
+  for (std::size_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+}
+
+void scaled_copy_scalar(double* dst, double s, const double* src,
+                        std::size_t n) noexcept {
+  for (std::size_t i = 0; i < n; ++i) dst[i] = s * src[i];
+}
+
+namespace {
+
+/// Primitive set the shared blocked nests (simd_block.inl) instantiate
+/// against for the scalar arm. Everything is defined in this TU, so the
+/// calls inline into the nests.
+struct ScalarPrims {
+  // The dot4 streaming nest auto-vectorizes well portably; the packed
+  // broadcast tile does not.
+  static constexpr bool kPackedGemm = false;
+  static double dot(const double* a, const double* b, std::size_t n) noexcept {
+    return dot_scalar(a, b, n);
+  }
+  static void dot4(const double* a, const double* b0, const double* b1,
+                   const double* b2, const double* b3, std::size_t n,
+                   double* out) noexcept {
+    dot4_scalar(a, b0, b1, b2, b3, n, out);
+  }
+  static void opacc_4x8(double* tile, const double* ca, const double* cb,
+                        std::size_t r, std::size_t stride) noexcept {
+    for (std::size_t t = 0; t < 32; ++t) tile[t] = 0.0;
+    for (std::size_t p = 0; p < r; ++p) {
+      const double* ap = ca + p * stride;
+      const double* bp = cb + p * stride;
+      for (std::size_t ii = 0; ii < 4; ++ii) {
+        const double av = ap[ii];
+        double* trow = tile + ii * 8;
+        for (std::size_t jj = 0; jj < 8; ++jj) trow[jj] += av * bp[jj];
+      }
+    }
+  }
+};
+
+}  // namespace
+
+void gemm_nt_scalar(double* c, std::size_t ldc, const double* a,
+                    std::size_t lda, std::size_t m, const double* b,
+                    std::size_t ldb, std::size_t n, std::size_t k) noexcept {
+  gemm_nt_blocked<ScalarPrims>(c, ldc, a, lda, m, b, ldb, n, k);
+}
+
+void syrk_ut_scalar(double* c, std::size_t ldc, double alpha, const double* a,
+                    std::size_t r, std::size_t n,
+                    std::size_t stride) noexcept {
+  syrk_ut_blocked<ScalarPrims>(c, ldc, alpha, a, r, n, stride);
+}
+
+#if defined(PARDPP_SIMD_HAVE_AVX2)
+// Defined in linalg/simd_avx2.cpp, the only TU built with -mavx2 -mfma.
+double dot_avx2(const double* a, const double* b, std::size_t n) noexcept;
+void dot4_avx2(const double* a, const double* b0, const double* b1,
+               const double* b2, const double* b3, std::size_t n,
+               double* out) noexcept;
+void axpy_avx2(double* y, double alpha, const double* x,
+               std::size_t n) noexcept;
+void scaled_copy_avx2(double* dst, double s, const double* src,
+                      std::size_t n) noexcept;
+void gemm_nt_avx2(double* c, std::size_t ldc, const double* a,
+                  std::size_t lda, std::size_t m, const double* b,
+                  std::size_t ldb, std::size_t n, std::size_t k) noexcept;
+void syrk_ut_avx2(double* c, std::size_t ldc, double alpha, const double* a,
+                  std::size_t r, std::size_t n, std::size_t stride) noexcept;
+#endif
+
+}  // namespace detail
+
+namespace {
+
+constexpr KernelTable kScalarTable = {
+    detail::dot_scalar,         detail::dot4_scalar,
+    detail::axpy_scalar,        detail::scaled_copy_scalar,
+    detail::gemm_nt_scalar,     detail::syrk_ut_scalar,
+    Path::kScalar};
+
+#if defined(PARDPP_SIMD_HAVE_AVX2)
+constexpr KernelTable kAvx2Table = {
+    detail::dot_avx2,         detail::dot4_avx2,
+    detail::axpy_avx2,        detail::scaled_copy_avx2,
+    detail::gemm_nt_avx2,     detail::syrk_ut_avx2,
+    Path::kAvx2};
+#endif
+
+/// The latched default: resolved from PARDPP_SIMD exactly once, on the
+/// first dispatched kernel call of the process.
+const KernelTable* latched_table() noexcept {
+  static const KernelTable* const table =
+      &kernel_table(resolve_path(std::getenv("PARDPP_SIMD")));
+  return table;
+}
+
+/// Test/bench override slot (ScopedPathOverride); null = use the latch.
+std::atomic<const KernelTable*> g_override{nullptr};
+
+}  // namespace
+
+bool avx2_compiled() noexcept {
+#if defined(PARDPP_SIMD_HAVE_AVX2)
+  return true;
+#else
+  return false;
+#endif
+}
+
+bool avx2_supported() noexcept {
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+  return false;
+#endif
+}
+
+Path resolve_path(const char* override_value) noexcept {
+  const bool avx2_usable = avx2_compiled() && avx2_supported();
+  if (override_value != nullptr) {
+    if (std::strcmp(override_value, "scalar") == 0) return Path::kScalar;
+    if (std::strcmp(override_value, "avx2") == 0)
+      return avx2_usable ? Path::kAvx2 : Path::kScalar;
+    // Unknown strings (and "auto") fall through to autodetection: a typo
+    // must never select an arm the host cannot execute.
+  }
+  return avx2_usable ? Path::kAvx2 : Path::kScalar;
+}
+
+const KernelTable& kernel_table(Path path) noexcept {
+#if defined(PARDPP_SIMD_HAVE_AVX2)
+  if (path == Path::kAvx2 && avx2_supported()) return kAvx2Table;
+#else
+  (void)path;
+#endif
+  return kScalarTable;
+}
+
+const KernelTable& active_kernels() noexcept {
+  const KernelTable* override_table =
+      g_override.load(std::memory_order_acquire);
+  return override_table != nullptr ? *override_table : *latched_table();
+}
+
+Path active_path() noexcept { return active_kernels().path; }
+
+const char* path_name() noexcept {
+  return active_path() == Path::kAvx2 ? "avx2" : "scalar";
+}
+
+ScopedPathOverride::ScopedPathOverride(Path path) noexcept
+    : previous_(g_override.exchange(&kernel_table(path),
+                                    std::memory_order_acq_rel)) {}
+
+ScopedPathOverride::~ScopedPathOverride() {
+  g_override.store(previous_, std::memory_order_release);
+}
+
+double dot(const double* a, const double* b, std::size_t n) noexcept {
+  return active_kernels().dot(a, b, n);
+}
+
+void dot4(const double* a, const double* b0, const double* b1,
+          const double* b2, const double* b3, std::size_t n,
+          double* out) noexcept {
+  active_kernels().dot4(a, b0, b1, b2, b3, n, out);
+}
+
+void axpy(double* y, double alpha, const double* x, std::size_t n) noexcept {
+  active_kernels().axpy(y, alpha, x, n);
+}
+
+void scaled_copy(double* dst, double s, const double* src,
+                 std::size_t n) noexcept {
+  active_kernels().scaled_copy(dst, s, src, n);
+}
+
+void gemm_nt(double* c, std::size_t ldc, const double* a, std::size_t lda,
+             std::size_t m, const double* b, std::size_t ldb, std::size_t n,
+             std::size_t k) noexcept {
+  active_kernels().gemm_nt(c, ldc, a, lda, m, b, ldb, n, k);
+}
+
+void syrk_ut(double* c, std::size_t ldc, double alpha, const double* a,
+             std::size_t r, std::size_t n, std::size_t stride) noexcept {
+  active_kernels().syrk_ut(c, ldc, alpha, a, r, n, stride);
+}
+
+}  // namespace pardpp::simd

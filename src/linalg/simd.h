@@ -1,0 +1,174 @@
+// Runtime-dispatched SIMD microkernels for the dense linalg substrate
+// (DESIGN.md §2 convention 10).
+//
+// Every Õ(1)-depth PRAM round the samplers charge bottoms out in a handful
+// of dense primitives — blocked GEMM/SYRK in matrix.h, bordered-Cholesky
+// dot products in cholesky.h, Schur half-solves in schur.cpp, the scaled
+// Gram rebuilds of the distillation front end — and their constant factor,
+// not their asymptotics, sets practical throughput. This layer provides
+// those primitives as microkernels with two arms:
+//
+//  * a portable scalar arm (4-way unrolled, fixed blocked order), always
+//    compiled;
+//  * an AVX2+FMA arm, compiled only in linalg/simd_avx2.cpp (the single TU
+//    carrying ISA flags, so the rest of the build stays portable) and
+//    eligible only when the CPU reports avx2+fma at runtime.
+//
+// Dispatch is latched once, on first kernel use: the `PARDPP_SIMD`
+// environment variable ("scalar", "avx2", "auto"/unset) picks the arm,
+// defaulting to the best supported one. `ScopedPathOverride` is the
+// in-process option form of the same switch, for the fuzz tests and the
+// scalar-vs-SIMD micro benches that must exercise both arms in one run;
+// it is not for production code paths.
+//
+// Determinism contract: each arm's reductions use a *fixed blocked
+// summation order* — a pure function of (arm, n) only, never of the pool
+// size or thread count — so identical seed ⇒ identical sample continues
+// to hold at every pool size within a build. The two arms agree to 1e-10
+// relative (enforced by tests/test_simd.cpp fuzz across shapes,
+// alignments, and ragged tails), not bitwise: whichever arm dispatch
+// selects, *all* callers use it, so bit-identity contracts between code
+// paths (IncrementalCholesky vs cholesky(), commit vs condition()) are
+// path-internal and unaffected.
+#pragma once
+
+#include <cstddef>
+
+namespace pardpp::simd {
+
+enum class Path { kScalar = 0, kAvx2 = 1 };
+
+/// True when the AVX2 arm was compiled into this binary (x86-64 and the
+/// compiler accepted -mavx2 -mfma).
+[[nodiscard]] bool avx2_compiled() noexcept;
+
+/// True when the running CPU reports avx2 and fma.
+[[nodiscard]] bool avx2_supported() noexcept;
+
+/// Pure resolution of an override string to a usable path: "scalar"
+/// forces the portable arm; "avx2" selects the AVX2 arm when compiled and
+/// supported (falling back to scalar otherwise — never an illegal
+/// instruction); anything else (including null/"auto") picks the best
+/// supported arm. Exposed so the env contract is unit-testable without
+/// relaunching the process.
+[[nodiscard]] Path resolve_path(const char* override_value) noexcept;
+
+/// The arm in effect: latched from getenv("PARDPP_SIMD") via
+/// resolve_path() on first kernel use, unless a ScopedPathOverride is
+/// active.
+[[nodiscard]] Path active_path() noexcept;
+
+/// "avx2" or "scalar" — the provenance string bench_util.h stamps into
+/// every BENCH record (compare_bench.py treats it as a host field:
+/// cross-path wall-clock comparisons are advisory, like cross-host ones).
+[[nodiscard]] const char* path_name() noexcept;
+
+// ---------------------------------------------------------------------
+// Dispatched microkernels. Pointers need not be aligned (the AVX2 arm
+// uses unaligned loads, which are penalty-free on 64-byte-aligned data —
+// Matrix storage is 64-byte aligned so the hot rows qualify); sizes may
+// be ragged (scalar tails are handled in a fixed order).
+// ---------------------------------------------------------------------
+
+/// sum_i a[i] * b[i].
+[[nodiscard]] double dot(const double* a, const double* b,
+                         std::size_t n) noexcept;
+
+/// Four dot products sharing the `a` operand: out[r] = sum_i a[i]*br[i].
+/// The GEMM inner kernel — one load of `a` feeds four accumulator chains.
+void dot4(const double* a, const double* b0, const double* b1,
+          const double* b2, const double* b3, std::size_t n,
+          double* out) noexcept;
+
+/// y[i] += alpha * x[i]. `y` and `x` must not partially overlap.
+void axpy(double* y, double alpha, const double* x, std::size_t n) noexcept;
+
+/// dst[i] = s * src[i]. Exact aliasing (dst == src, the in-place scale)
+/// is allowed; partial overlap is not.
+void scaled_copy(double* dst, double s, const double* src,
+                 std::size_t n) noexcept;
+
+// ---------------------------------------------------------------------
+// Coarse-grained kernels. The feature widths the samplers run (d = 24
+// Gram blocks, n = 128 Schur ensembles) make the *rows* short, so
+// dispatching per inner product would spend more on the indirect call
+// than the vectors win back. These two carry the entire blocked loop
+// nest (simd_block.inl, shared verbatim by both arms) behind a single
+// dispatch, letting each arm inline its primitives.
+// ---------------------------------------------------------------------
+
+/// C = A B^T: C is m x n with row stride ldc, A is m rows of length k
+/// (stride lda), B is n rows of length k (stride ldb). Every inner
+/// product walks contiguous memory; summation order matches dot/dot4.
+void gemm_nt(double* c, std::size_t ldc, const double* a, std::size_t lda,
+             std::size_t m, const double* b, std::size_t ldb, std::size_t n,
+             std::size_t k) noexcept;
+
+/// Upper triangle of C += alpha * A^T A: C is n x n with row stride ldc,
+/// A is r rows of length n with row stride `stride`. The caller mirrors
+/// the triangle. Rows are consumed in fixed blocks (four fused per pass),
+/// independent of pool size.
+void syrk_ut(double* c, std::size_t ldc, double alpha, const double* a,
+             std::size_t r, std::size_t n, std::size_t stride) noexcept;
+
+/// Function-pointer table of one arm's kernels. The dispatched entry
+/// points above read the latched table; tests and benches can fetch a
+/// specific arm's table to drive both implementations side by side.
+struct KernelTable {
+  double (*dot)(const double*, const double*, std::size_t) noexcept;
+  void (*dot4)(const double*, const double*, const double*, const double*,
+               const double*, std::size_t, double*) noexcept;
+  void (*axpy)(double*, double, const double*, std::size_t) noexcept;
+  void (*scaled_copy)(double*, double, const double*, std::size_t) noexcept;
+  void (*gemm_nt)(double*, std::size_t, const double*, std::size_t,
+                  std::size_t, const double*, std::size_t, std::size_t,
+                  std::size_t) noexcept;
+  void (*syrk_ut)(double*, std::size_t, double, const double*, std::size_t,
+                  std::size_t, std::size_t) noexcept;
+  Path path;
+};
+
+/// The table for one arm. Requesting kAvx2 when it is not compiled or
+/// not supported returns the scalar table (mirroring resolve_path).
+[[nodiscard]] const KernelTable& kernel_table(Path path) noexcept;
+
+/// The latched (or overridden) table behind the dispatched entry points.
+[[nodiscard]] const KernelTable& active_kernels() noexcept;
+
+/// RAII arm override for tests and micro benches: forces `path` (subject
+/// to availability) for its lifetime, restoring the previous state on
+/// destruction. Not thread-safe — install only while no other thread is
+/// inside the linalg substrate. Production code must rely on the
+/// PARDPP_SIMD environment contract instead.
+class ScopedPathOverride {
+ public:
+  explicit ScopedPathOverride(Path path) noexcept;
+  ~ScopedPathOverride();
+  ScopedPathOverride(const ScopedPathOverride&) = delete;
+  ScopedPathOverride& operator=(const ScopedPathOverride&) = delete;
+
+ private:
+  const KernelTable* previous_;
+};
+
+namespace detail {
+// The scalar arm, directly callable for the fuzz tests (the AVX2 arm is
+// reached through kernel_table(Path::kAvx2), so binaries without it still
+// link).
+[[nodiscard]] double dot_scalar(const double* a, const double* b,
+                                std::size_t n) noexcept;
+void dot4_scalar(const double* a, const double* b0, const double* b1,
+                 const double* b2, const double* b3, std::size_t n,
+                 double* out) noexcept;
+void axpy_scalar(double* y, double alpha, const double* x,
+                 std::size_t n) noexcept;
+void scaled_copy_scalar(double* dst, double s, const double* src,
+                        std::size_t n) noexcept;
+void gemm_nt_scalar(double* c, std::size_t ldc, const double* a,
+                    std::size_t lda, std::size_t m, const double* b,
+                    std::size_t ldb, std::size_t n, std::size_t k) noexcept;
+void syrk_ut_scalar(double* c, std::size_t ldc, double alpha, const double* a,
+                    std::size_t r, std::size_t n, std::size_t stride) noexcept;
+}  // namespace detail
+
+}  // namespace pardpp::simd

@@ -1,0 +1,238 @@
+// AVX2+FMA arm of the dispatched microkernels (linalg/simd.h) — the one
+// translation unit in the build carrying ISA flags (-mavx2 -mfma, attached
+// by src/CMakeLists.txt together with PARDPP_SIMD_HAVE_AVX2). Nothing in
+// here may be called unless simd::avx2_supported() reported true at
+// dispatch time; without the macro the TU compiles to nothing, keeping
+// non-x86 and old-compiler builds portable.
+//
+// Reduction-order contract (DESIGN.md §2 convention 10): each kernel's
+// summation order is a pure function of n — 16-element blocks into four
+// independent vector accumulators, a 4-element loop folding into the
+// first accumulator, a scalar tail, then the fixed combine
+// hsum((acc0+acc1)+(acc2+acc3)) + tail with hsum adding lanes as
+// ((l0+l1)+(l2+l3)). Unaligned loads throughout: penalty-free on the
+// 64-byte-aligned Matrix storage, correct on the ragged offsets the
+// bordered-Cholesky and half-solve paths produce.
+#if defined(PARDPP_SIMD_HAVE_AVX2)
+
+#include <immintrin.h>
+
+#include <cstddef>
+
+#include "linalg/simd_block.inl"
+
+namespace pardpp::simd::detail {
+
+namespace {
+
+/// Lane sum in the fixed order ((l0+l1)+(l2+l3)).
+inline double hsum(__m256d v) noexcept {
+  const __m128d lo = _mm256_castpd256_pd128(v);
+  const __m128d hi = _mm256_extractf128_pd(v, 1);
+  const __m128d lo_pair = _mm_hadd_pd(lo, lo);  // l0+l1
+  const __m128d hi_pair = _mm_hadd_pd(hi, hi);  // l2+l3
+  return _mm_cvtsd_f64(_mm_add_sd(lo_pair, hi_pair));
+}
+
+}  // namespace
+
+double dot_avx2(const double* a, const double* b, std::size_t n) noexcept {
+  __m256d acc0 = _mm256_setzero_pd();
+  __m256d acc1 = _mm256_setzero_pd();
+  __m256d acc2 = _mm256_setzero_pd();
+  __m256d acc3 = _mm256_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    acc0 = _mm256_fmadd_pd(_mm256_loadu_pd(a + i), _mm256_loadu_pd(b + i),
+                           acc0);
+    acc1 = _mm256_fmadd_pd(_mm256_loadu_pd(a + i + 4),
+                           _mm256_loadu_pd(b + i + 4), acc1);
+    acc2 = _mm256_fmadd_pd(_mm256_loadu_pd(a + i + 8),
+                           _mm256_loadu_pd(b + i + 8), acc2);
+    acc3 = _mm256_fmadd_pd(_mm256_loadu_pd(a + i + 12),
+                           _mm256_loadu_pd(b + i + 12), acc3);
+  }
+  for (; i + 4 <= n; i += 4) {
+    acc0 = _mm256_fmadd_pd(_mm256_loadu_pd(a + i), _mm256_loadu_pd(b + i),
+                           acc0);
+  }
+  double tail = 0.0;
+  for (; i < n; ++i) tail += a[i] * b[i];
+  const __m256d sum =
+      _mm256_add_pd(_mm256_add_pd(acc0, acc1), _mm256_add_pd(acc2, acc3));
+  return hsum(sum) + tail;
+}
+
+void dot4_avx2(const double* a, const double* b0, const double* b1,
+               const double* b2, const double* b3, std::size_t n,
+               double* out) noexcept {
+  __m256d acc0 = _mm256_setzero_pd();
+  __m256d acc1 = _mm256_setzero_pd();
+  __m256d acc2 = _mm256_setzero_pd();
+  __m256d acc3 = _mm256_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d av = _mm256_loadu_pd(a + i);
+    acc0 = _mm256_fmadd_pd(av, _mm256_loadu_pd(b0 + i), acc0);
+    acc1 = _mm256_fmadd_pd(av, _mm256_loadu_pd(b1 + i), acc1);
+    acc2 = _mm256_fmadd_pd(av, _mm256_loadu_pd(b2 + i), acc2);
+    acc3 = _mm256_fmadd_pd(av, _mm256_loadu_pd(b3 + i), acc3);
+  }
+  double t0 = 0.0, t1 = 0.0, t2 = 0.0, t3 = 0.0;
+  for (; i < n; ++i) {
+    const double av = a[i];
+    t0 += av * b0[i];
+    t1 += av * b1[i];
+    t2 += av * b2[i];
+    t3 += av * b3[i];
+  }
+  // Transposed reduction: hadd pairs lanes as (l0+l1) and (l2+l3), the
+  // permutes regroup per accumulator, and one vector add finishes all
+  // four sums — the same ((l0+l1)+(l2+l3))+tail order as hsum(), without
+  // four serial lane-sum chains.
+  const __m256d h01 = _mm256_hadd_pd(acc0, acc1);
+  const __m256d h23 = _mm256_hadd_pd(acc2, acc3);
+  const __m256d lo = _mm256_permute2f128_pd(h01, h23, 0x20);
+  const __m256d hi = _mm256_permute2f128_pd(h01, h23, 0x31);
+  const __m256d tails = _mm256_set_pd(t3, t2, t1, t0);
+  _mm256_storeu_pd(out, _mm256_add_pd(_mm256_add_pd(lo, hi), tails));
+}
+
+void axpy_avx2(double* y, double alpha, const double* x,
+               std::size_t n) noexcept {
+  const __m256d va = _mm256_set1_pd(alpha);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_pd(
+        y + i, _mm256_fmadd_pd(va, _mm256_loadu_pd(x + i),
+                               _mm256_loadu_pd(y + i)));
+    _mm256_storeu_pd(
+        y + i + 4, _mm256_fmadd_pd(va, _mm256_loadu_pd(x + i + 4),
+                                   _mm256_loadu_pd(y + i + 4)));
+  }
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(
+        y + i, _mm256_fmadd_pd(va, _mm256_loadu_pd(x + i),
+                               _mm256_loadu_pd(y + i)));
+  }
+  for (; i < n; ++i) y[i] += alpha * x[i];
+}
+
+void scaled_copy_avx2(double* dst, double s, const double* src,
+                      std::size_t n) noexcept {
+  const __m256d vs = _mm256_set1_pd(s);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4)
+    _mm256_storeu_pd(dst + i, _mm256_mul_pd(vs, _mm256_loadu_pd(src + i)));
+  for (; i < n; ++i) dst[i] = s * src[i];
+}
+
+namespace {
+
+/// Primitive set the shared blocked nests (simd_block.inl) instantiate
+/// against for this arm; defined in this TU so the calls inline under
+/// the TU's -mavx2 -mfma flags.
+struct Avx2Prims {
+  static constexpr bool kPackedGemm = true;
+  static double dot(const double* a, const double* b, std::size_t n) noexcept {
+    return dot_avx2(a, b, n);
+  }
+  static void dot4(const double* a, const double* b0, const double* b1,
+                   const double* b2, const double* b3, std::size_t n,
+                   double* out) noexcept {
+    dot4_avx2(a, b0, b1, b2, b3, n, out);
+  }
+  /// 4 x 8 GEMM tile against a packed (transposed, contiguous k x 8) B
+  /// tile: the output tile lives in eight register accumulators across
+  /// the whole k loop — two contiguous loads, four broadcasts, eight
+  /// FMAs per k step, no lane reduction per output.
+  static void gemm_pack_4x8(double* c, std::size_t ldc, const double* a,
+                            std::size_t lda, const double* bt,
+                            std::size_t k) noexcept {
+    __m256d acc0l = _mm256_setzero_pd(), acc0h = _mm256_setzero_pd();
+    __m256d acc1l = _mm256_setzero_pd(), acc1h = _mm256_setzero_pd();
+    __m256d acc2l = _mm256_setzero_pd(), acc2h = _mm256_setzero_pd();
+    __m256d acc3l = _mm256_setzero_pd(), acc3h = _mm256_setzero_pd();
+    const double* a0 = a;
+    const double* a1 = a + lda;
+    const double* a2 = a + 2 * lda;
+    const double* a3 = a + 3 * lda;
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const __m256d bl = _mm256_loadu_pd(bt + kk * 8);
+      const __m256d bh = _mm256_loadu_pd(bt + kk * 8 + 4);
+      const __m256d v0 = _mm256_set1_pd(a0[kk]);
+      const __m256d v1 = _mm256_set1_pd(a1[kk]);
+      const __m256d v2 = _mm256_set1_pd(a2[kk]);
+      const __m256d v3 = _mm256_set1_pd(a3[kk]);
+      acc0l = _mm256_fmadd_pd(v0, bl, acc0l);
+      acc0h = _mm256_fmadd_pd(v0, bh, acc0h);
+      acc1l = _mm256_fmadd_pd(v1, bl, acc1l);
+      acc1h = _mm256_fmadd_pd(v1, bh, acc1h);
+      acc2l = _mm256_fmadd_pd(v2, bl, acc2l);
+      acc2h = _mm256_fmadd_pd(v2, bh, acc2h);
+      acc3l = _mm256_fmadd_pd(v3, bl, acc3l);
+      acc3h = _mm256_fmadd_pd(v3, bh, acc3h);
+    }
+    _mm256_storeu_pd(c, acc0l);
+    _mm256_storeu_pd(c + 4, acc0h);
+    _mm256_storeu_pd(c + ldc, acc1l);
+    _mm256_storeu_pd(c + ldc + 4, acc1h);
+    _mm256_storeu_pd(c + 2 * ldc, acc2l);
+    _mm256_storeu_pd(c + 2 * ldc + 4, acc2h);
+    _mm256_storeu_pd(c + 3 * ldc, acc3l);
+    _mm256_storeu_pd(c + 3 * ldc + 4, acc3h);
+  }
+  /// 4 x 8 SYRK tile: tile[ii][jj] = sum_p ca[p*stride+ii]*cb[p*stride+jj].
+  /// The eight accumulators live in registers across the whole row stream;
+  /// per row: two j-loads, four broadcasts, eight FMAs.
+  static void opacc_4x8(double* tile, const double* ca, const double* cb,
+                        std::size_t r, std::size_t stride) noexcept {
+    __m256d acc0l = _mm256_setzero_pd(), acc0h = _mm256_setzero_pd();
+    __m256d acc1l = _mm256_setzero_pd(), acc1h = _mm256_setzero_pd();
+    __m256d acc2l = _mm256_setzero_pd(), acc2h = _mm256_setzero_pd();
+    __m256d acc3l = _mm256_setzero_pd(), acc3h = _mm256_setzero_pd();
+    for (std::size_t p = 0; p < r; ++p) {
+      const double* ap = ca + p * stride;
+      const double* bp = cb + p * stride;
+      const __m256d bl = _mm256_loadu_pd(bp);
+      const __m256d bh = _mm256_loadu_pd(bp + 4);
+      const __m256d a0 = _mm256_set1_pd(ap[0]);
+      const __m256d a1 = _mm256_set1_pd(ap[1]);
+      const __m256d a2 = _mm256_set1_pd(ap[2]);
+      const __m256d a3 = _mm256_set1_pd(ap[3]);
+      acc0l = _mm256_fmadd_pd(a0, bl, acc0l);
+      acc0h = _mm256_fmadd_pd(a0, bh, acc0h);
+      acc1l = _mm256_fmadd_pd(a1, bl, acc1l);
+      acc1h = _mm256_fmadd_pd(a1, bh, acc1h);
+      acc2l = _mm256_fmadd_pd(a2, bl, acc2l);
+      acc2h = _mm256_fmadd_pd(a2, bh, acc2h);
+      acc3l = _mm256_fmadd_pd(a3, bl, acc3l);
+      acc3h = _mm256_fmadd_pd(a3, bh, acc3h);
+    }
+    _mm256_storeu_pd(tile + 0, acc0l);
+    _mm256_storeu_pd(tile + 4, acc0h);
+    _mm256_storeu_pd(tile + 8, acc1l);
+    _mm256_storeu_pd(tile + 12, acc1h);
+    _mm256_storeu_pd(tile + 16, acc2l);
+    _mm256_storeu_pd(tile + 20, acc2h);
+    _mm256_storeu_pd(tile + 24, acc3l);
+    _mm256_storeu_pd(tile + 28, acc3h);
+  }
+};
+
+}  // namespace
+
+void gemm_nt_avx2(double* c, std::size_t ldc, const double* a,
+                  std::size_t lda, std::size_t m, const double* b,
+                  std::size_t ldb, std::size_t n, std::size_t k) noexcept {
+  gemm_nt_blocked<Avx2Prims>(c, ldc, a, lda, m, b, ldb, n, k);
+}
+
+void syrk_ut_avx2(double* c, std::size_t ldc, double alpha, const double* a,
+                  std::size_t r, std::size_t n, std::size_t stride) noexcept {
+  syrk_ut_blocked<Avx2Prims>(c, ldc, alpha, a, r, n, stride);
+}
+
+}  // namespace pardpp::simd::detail
+
+#endif  // PARDPP_SIMD_HAVE_AVX2

@@ -1,0 +1,172 @@
+// Blocked loop nests of the coarse-grained microkernels (simd::gemm_nt,
+// simd::syrk_ut), included by BOTH arm translation units and instantiated
+// against each arm's primitive set so the primitives inline. Dispatching
+// per inner product would cost more than the vectors win at the feature
+// widths the samplers run (d = 24 Gram blocks, n = 128 Schur ensembles);
+// hoisting the whole nest behind one indirect call removes that overhead.
+//
+// The blocking constants — and therefore every summation order — are
+// fixed here at compile time: a pure function of (arm, shape), never of
+// the pool size or thread count (DESIGN.md §2 convention 10). Ragged
+// edges (shapes off the 4/8 tile grid) run shared scalar code, identical
+// in both arms; the hot shapes (d = 24, n = 128) tile exactly. The GEMM
+// nest differs *between* arms (P::kPackedGemm) because the fastest
+// structure does; within an arm it is deterministic, and the arms agree
+// to 1e-10 relative (fuzz-enforced).
+//
+// `P` supplies the register-blocked inner kernels:
+//  * dot / dot4 — single-row GEMM kernels (also the public primitives),
+//    used for ragged edges and the huge-k fallback;
+//  * gemm_pack_4x8 — c[4][8] = A-rows x packed-B^T tile: the output tile
+//    lives in registers across the whole k loop (broadcast A, two packed
+//    B loads, eight FMAs per k step — no per-output lane reduction);
+//  * opacc_4x8 — tile[4][8] = sum_p a_cols[p,0..3] outer b_cols[p,0..7],
+//    the SYRK kernel: the C tile lives in registers across the entire
+//    row stream, so memory traffic is the A columns alone.
+#include <algorithm>
+#include <cstddef>
+
+namespace pardpp::simd::detail {
+
+/// k cap for the on-stack packed-B^T tile of the GEMM nest (16 KiB).
+/// Larger k falls back to the unpacked dot4 nest — same threshold in
+/// both arms, so the per-element summation order stays arm-independent
+/// in structure.
+constexpr std::size_t kGemmPackMaxK = 256;
+
+/// Packs eight consecutive B rows (length k, stride ldb) into a
+/// transposed k x 8 tile: bt[kk*8 + jj] = b[jj*ldb + kk]. Shared by both
+/// arms; the pack is done once per column tile and reused across every
+/// row of A.
+inline void pack_b8(double* bt, const double* b, std::size_t ldb,
+                    std::size_t k) noexcept {
+  for (std::size_t kk = 0; kk < k; ++kk)
+    for (std::size_t jj = 0; jj < 8; ++jj) bt[kk * 8 + jj] = b[jj * ldb + kk];
+}
+
+/// Strided column dot: sum_p a[p*stride] * b[p*stride]. Shared scalar
+/// edge path of the SYRK nest — identical in both arms.
+inline double col_dot(const double* a, const double* b, std::size_t r,
+                      std::size_t stride) noexcept {
+  double acc = 0.0;
+  for (std::size_t p = 0; p < r; ++p) acc += a[p * stride] * b[p * stride];
+  return acc;
+}
+
+/// Unpacked fallback nest: a tile of B rows stays L1-resident across
+/// consecutive rows of A, four B rows share each A-row load through dot4.
+template <typename P>
+inline void gemm_nt_dot4(double* c, std::size_t ldc, const double* a,
+                         std::size_t lda, std::size_t m, const double* b,
+                         std::size_t ldb, std::size_t n,
+                         std::size_t k) noexcept {
+  constexpr std::size_t kTile = 64;
+  for (std::size_t j0 = 0; j0 < n; j0 += kTile) {
+    const std::size_t j1 = std::min(n, j0 + kTile);
+    for (std::size_t i = 0; i < m; ++i) {
+      const double* arow = a + i * lda;
+      double* crow = c + i * ldc;
+      std::size_t j = j0;
+      for (; j + 4 <= j1; j += 4) {
+        P::dot4(arow, b + j * ldb, b + (j + 1) * ldb, b + (j + 2) * ldb,
+                b + (j + 3) * ldb, k, crow + j);
+      }
+      for (; j < j1; ++j) crow[j] = P::dot(arow, b + j * ldb, k);
+    }
+  }
+}
+
+/// C (m x n, stride ldc) = A (m x k, stride lda) * B^T (B: n rows of
+/// length k, stride ldb). Each eight-column tile of B is packed
+/// (transposed) once into a contiguous k x 8 scratch tile, then swept by
+/// 4 x 8 register tiles down all of A — the packed layout turns every
+/// inner step into two contiguous loads plus four broadcasts, with no
+/// lane reduction per output. Ragged rows/columns and k beyond the pack
+/// cap run the dot4 nest.
+template <typename P>
+inline void gemm_nt_blocked(double* c, std::size_t ldc, const double* a,
+                            std::size_t lda, std::size_t m, const double* b,
+                            std::size_t ldb, std::size_t n,
+                            std::size_t k) noexcept {
+  // Each arm declares the nest that is fastest *for it*: the packed tile
+  // only pays off when broadcasts and contiguous tile loads beat the
+  // dot4 streaming form, which is true of the AVX2 arm but not of the
+  // portable one. Per arm the choice is a compile-time constant, so the
+  // summation order stays a pure function of (arm, shape).
+  if constexpr (!P::kPackedGemm) {
+    gemm_nt_dot4<P>(c, ldc, a, lda, m, b, ldb, n, k);
+    return;
+  } else {
+  if (k > kGemmPackMaxK || n < 8 || m < 4) {
+    gemm_nt_dot4<P>(c, ldc, a, lda, m, b, ldb, n, k);
+    return;
+  }
+  double bt[kGemmPackMaxK * 8];
+  const std::size_t nj8 = n - n % 8;
+  const std::size_t mi4 = m - m % 4;
+  for (std::size_t j0 = 0; j0 < nj8; j0 += 8) {
+    pack_b8(bt, b + j0 * ldb, ldb, k);
+    for (std::size_t i = 0; i < mi4; i += 4)
+      P::gemm_pack_4x8(c + i * ldc + j0, ldc, a + i * lda, lda, bt, k);
+    for (std::size_t i = mi4; i < m; ++i) {
+      const double* arow = a + i * lda;
+      double* crow = c + i * ldc;
+      P::dot4(arow, b + j0 * ldb, b + (j0 + 1) * ldb, b + (j0 + 2) * ldb,
+              b + (j0 + 3) * ldb, k, crow + j0);
+      P::dot4(arow, b + (j0 + 4) * ldb, b + (j0 + 5) * ldb,
+              b + (j0 + 6) * ldb, b + (j0 + 7) * ldb, k, crow + j0 + 4);
+    }
+  }
+  for (std::size_t i = 0; i < m; ++i) {
+    const double* arow = a + i * lda;
+    double* crow = c + i * ldc;
+    std::size_t j = nj8;
+    for (; j + 4 <= n; j += 4) {
+      P::dot4(arow, b + j * ldb, b + (j + 1) * ldb, b + (j + 2) * ldb,
+              b + (j + 3) * ldb, k, crow + j);
+    }
+    for (; j < n; ++j) crow[j] = P::dot(arow, b + j * ldb, k);
+  }
+  }
+}
+
+/// Upper triangle of C (n x n, stride ldc) += alpha * A^T A for A with r
+/// rows of length n (stride `stride`). The triangle is covered by 4 x 8
+/// register tiles: each tile accumulates its block of column products
+/// across the whole row stream in registers, then merges the j >= i
+/// entries (diagonal-straddling tiles compute a few below-diagonal
+/// products and discard them — cheaper than ragged tile shapes).
+template <typename P>
+inline void syrk_ut_blocked(double* c, std::size_t ldc, double alpha,
+                            const double* a, std::size_t r, std::size_t n,
+                            std::size_t stride) noexcept {
+  const std::size_t ni4 = n - n % 4;
+  const std::size_t nj8 = n - n % 8;
+  for (std::size_t i0 = 0; i0 < ni4; i0 += 4) {
+    for (std::size_t j0 = (i0 / 8) * 8; j0 < nj8; j0 += 8) {
+      double tile[32];
+      P::opacc_4x8(tile, a + i0, a + j0, r, stride);
+      for (std::size_t ii = 0; ii < 4; ++ii) {
+        const std::size_t i = i0 + ii;
+        double* crow = c + i * ldc;
+        for (std::size_t jj = 0; jj < 8; ++jj) {
+          const std::size_t j = j0 + jj;
+          if (j >= i) crow[j] += alpha * tile[ii * 8 + jj];
+        }
+      }
+    }
+    for (std::size_t ii = 0; ii < 4; ++ii) {
+      const std::size_t i = i0 + ii;
+      double* crow = c + i * ldc;
+      for (std::size_t j = std::max(i, nj8); j < n; ++j)
+        crow[j] += alpha * col_dot(a + i, a + j, r, stride);
+    }
+  }
+  for (std::size_t i = ni4; i < n; ++i) {
+    double* crow = c + i * ldc;
+    for (std::size_t j = i; j < n; ++j)
+      crow[j] += alpha * col_dot(a + i, a + j, r, stride);
+  }
+}
+
+}  // namespace pardpp::simd::detail

@@ -1,0 +1,318 @@
+// Tests of the runtime-dispatched SIMD microkernel layer (linalg/simd.h,
+// DESIGN.md §2 convention 10): the PARDPP_SIMD resolution contract, the
+// scalar-vs-AVX2 agreement fuzz across shapes, alignments, and ragged
+// tails, the 64-byte Matrix alignment guarantee, and the bit-identity
+// contracts that route through the dispatched kernels.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <vector>
+
+#include "linalg/cholesky.h"
+#include "linalg/factory.h"
+#include "linalg/matrix.h"
+#include "linalg/simd.h"
+#include "support/random.h"
+
+namespace pardpp {
+namespace {
+
+using simd::KernelTable;
+using simd::Path;
+
+// Relative agreement tolerance between the two arms. The arms sum the
+// same products in different fixed orders, so they agree to rounding
+// accumulation, not bitwise.
+constexpr double kArmTol = 1e-10;
+
+double rel_diff(double a, double b) {
+  const double scale = std::max({std::abs(a), std::abs(b), 1.0});
+  return std::abs(a - b) / scale;
+}
+
+std::vector<double> random_buffer(std::size_t n, RandomStream& rng) {
+  std::vector<double> v(n);
+  for (auto& x : v) x = rng.normal();
+  return v;
+}
+
+TEST(SimdDispatch, ResolvePathContract) {
+  const bool usable = simd::avx2_compiled() && simd::avx2_supported();
+  // "scalar" always forces the portable arm.
+  EXPECT_EQ(simd::resolve_path("scalar"), Path::kScalar);
+  // "avx2" selects the AVX2 arm only when it can actually run.
+  EXPECT_EQ(simd::resolve_path("avx2"),
+            usable ? Path::kAvx2 : Path::kScalar);
+  // Unset and "auto" pick the best supported arm.
+  const Path best = usable ? Path::kAvx2 : Path::kScalar;
+  EXPECT_EQ(simd::resolve_path(nullptr), best);
+  EXPECT_EQ(simd::resolve_path("auto"), best);
+  // A typo must never select an arm the host cannot execute.
+  EXPECT_EQ(simd::resolve_path("avx512-typo"), best);
+  EXPECT_EQ(simd::resolve_path(""), best);
+}
+
+TEST(SimdDispatch, ActivePathHonorsEnvironment) {
+  // Whatever PARDPP_SIMD says (including the CI leg that forces
+  // "scalar"), the latched path must equal the pure resolution of it.
+  EXPECT_EQ(simd::active_path(),
+            simd::resolve_path(std::getenv("PARDPP_SIMD")));
+  const char* name = simd::path_name();
+  EXPECT_TRUE(simd::active_path() == Path::kAvx2 ? name == std::string("avx2")
+                                                 : name == std::string("scalar"));
+}
+
+TEST(SimdDispatch, KernelTableArms) {
+  EXPECT_EQ(simd::kernel_table(Path::kScalar).path, Path::kScalar);
+  const bool usable = simd::avx2_compiled() && simd::avx2_supported();
+  EXPECT_EQ(simd::kernel_table(Path::kAvx2).path,
+            usable ? Path::kAvx2 : Path::kScalar);
+}
+
+TEST(SimdDispatch, ScopedOverrideForcesAndRestores) {
+  const Path before = simd::active_path();
+  {
+    simd::ScopedPathOverride force_scalar(Path::kScalar);
+    EXPECT_EQ(simd::active_path(), Path::kScalar);
+    const double a[3] = {1.0, 2.0, 3.0};
+    EXPECT_DOUBLE_EQ(simd::dot(a, a, 3), 14.0);
+  }
+  EXPECT_EQ(simd::active_path(), before);
+}
+
+// Cross-arm fuzz of the vector primitives over ragged sizes and all
+// eight 8-byte misalignments. On hosts without a usable AVX2 arm the two
+// tables coincide and the comparisons are trivially exact.
+TEST(SimdFuzz, VectorKernelsAgreeAcrossArms) {
+  const KernelTable& s = simd::kernel_table(Path::kScalar);
+  const KernelTable& v = simd::kernel_table(Path::kAvx2);
+  RandomStream rng(20240807);
+  for (std::size_t n = 0; n <= 67; ++n) {
+    for (std::size_t off = 0; off < 8; ++off) {
+      const auto a = random_buffer(n + off, rng);
+      const auto b = random_buffer(n + off, rng);
+      const double* ap = a.data() + off;
+      const double* bp = b.data() + off;
+      EXPECT_LE(rel_diff(s.dot(ap, bp, n), v.dot(ap, bp, n)), kArmTol)
+          << "dot n=" << n << " off=" << off;
+    }
+  }
+}
+
+TEST(SimdFuzz, Dot4AgreesAcrossArms) {
+  const KernelTable& s = simd::kernel_table(Path::kScalar);
+  const KernelTable& v = simd::kernel_table(Path::kAvx2);
+  RandomStream rng(77001);
+  for (std::size_t n : {0u, 1u, 3u, 4u, 7u, 8u, 15u, 16u, 17u, 24u, 63u}) {
+    for (std::size_t off = 0; off < 4; ++off) {
+      const auto a = random_buffer(n + off, rng);
+      const auto b0 = random_buffer(n + off, rng);
+      const auto b1 = random_buffer(n + off, rng);
+      const auto b2 = random_buffer(n + off, rng);
+      const auto b3 = random_buffer(n + off, rng);
+      double outs[4], outv[4];
+      s.dot4(a.data() + off, b0.data() + off, b1.data() + off,
+             b2.data() + off, b3.data() + off, n, outs);
+      v.dot4(a.data() + off, b0.data() + off, b1.data() + off,
+             b2.data() + off, b3.data() + off, n, outv);
+      for (int r = 0; r < 4; ++r)
+        EXPECT_LE(rel_diff(outs[r], outv[r]), kArmTol)
+            << "dot4 n=" << n << " off=" << off << " r=" << r;
+    }
+  }
+}
+
+TEST(SimdFuzz, AxpyAndScaledCopyAgreeAcrossArms) {
+  const KernelTable& s = simd::kernel_table(Path::kScalar);
+  const KernelTable& v = simd::kernel_table(Path::kAvx2);
+  RandomStream rng(5150);
+  for (std::size_t n : {0u, 1u, 2u, 5u, 8u, 13u, 24u, 40u, 65u}) {
+    for (std::size_t off = 0; off < 8; off += 3) {
+      const auto x = random_buffer(n + off, rng);
+      auto ys = random_buffer(n + off, rng);
+      auto yv = ys;
+      const double alpha = rng.normal();
+      s.axpy(ys.data() + off, alpha, x.data() + off, n);
+      v.axpy(yv.data() + off, alpha, x.data() + off, n);
+      for (std::size_t i = 0; i < n + off; ++i)
+        EXPECT_LE(rel_diff(ys[i], yv[i]), kArmTol) << "axpy n=" << n;
+
+      auto ds = random_buffer(n + off, rng);
+      auto dv = ds;
+      const double scale = rng.normal();
+      s.scaled_copy(ds.data() + off, scale, x.data() + off, n);
+      v.scaled_copy(dv.data() + off, scale, x.data() + off, n);
+      for (std::size_t i = 0; i < n + off; ++i)
+        EXPECT_EQ(ds[i], dv[i]) << "scaled_copy n=" << n;
+
+      // In-place aliasing (dst == src) is part of the contract.
+      auto es = random_buffer(n + off, rng);
+      auto ev = es;
+      s.scaled_copy(es.data() + off, scale, es.data() + off, n);
+      v.scaled_copy(ev.data() + off, scale, ev.data() + off, n);
+      for (std::size_t i = 0; i < n + off; ++i)
+        EXPECT_EQ(es[i], ev[i]) << "scaled_copy aliased n=" << n;
+    }
+  }
+}
+
+// The coarse kernels: fuzz both arms against a plain reference across
+// shapes on and off the 4/8 tile grid, including the k above the packed
+// tile cap.
+TEST(SimdFuzz, GemmNtMatchesReferenceOnBothArms) {
+  RandomStream rng(31337);
+  const std::size_t shapes[][3] = {  // {m, n, k}
+      {0, 0, 0}, {1, 1, 1},   {2, 3, 5},   {3, 8, 24},  {4, 8, 24},
+      {5, 7, 9}, {6, 12, 24}, {9, 24, 24}, {17, 9, 33}, {12, 16, 300},
+  };
+  for (const auto& shape : shapes) {
+    const std::size_t m = shape[0], n = shape[1], k = shape[2];
+    const auto a = random_buffer(m * k, rng);
+    const auto b = random_buffer(n * k, rng);
+    std::vector<double> ref(m * n, 0.0);
+    for (std::size_t i = 0; i < m; ++i)
+      for (std::size_t j = 0; j < n; ++j) {
+        long double acc = 0.0L;
+        for (std::size_t t = 0; t < k; ++t)
+          acc += static_cast<long double>(a[i * k + t]) * b[j * k + t];
+        ref[i * n + j] = static_cast<double>(acc);
+      }
+    for (const Path path : {Path::kScalar, Path::kAvx2}) {
+      const KernelTable& t = simd::kernel_table(path);
+      std::vector<double> c(m * n, -1.0);
+      t.gemm_nt(c.data(), n, a.data(), k, m, b.data(), k, n, k);
+      for (std::size_t i = 0; i < m * n; ++i)
+        EXPECT_LE(rel_diff(c[i], ref[i]), kArmTol)
+            << "gemm m=" << m << " n=" << n << " k=" << k << " path="
+            << static_cast<int>(path);
+    }
+  }
+}
+
+TEST(SimdFuzz, SyrkUtMatchesReferenceOnBothArms) {
+  RandomStream rng(90210);
+  const std::size_t shapes[][3] = {  // {r, n, stride_extra}
+      {0, 4, 0},  {1, 1, 0},  {3, 5, 2},  {5, 8, 0},   {16, 24, 0},
+      {17, 24, 0}, {33, 12, 3}, {64, 7, 1}, {40, 128, 0}, {7, 30, 0},
+  };
+  const double alphas[] = {1.0, -0.5, 2.25};
+  for (const auto& shape : shapes) {
+    const std::size_t r = shape[0], n = shape[1];
+    const std::size_t stride = n + shape[2];
+    const auto a = random_buffer(r * stride + 1, rng);
+    for (const double alpha : alphas) {
+      // Reference: upper triangle of C0 + alpha * A^T A.
+      const auto c0 = random_buffer(n * n, rng);
+      std::vector<double> ref = c0;
+      for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = i; j < n; ++j) {
+          long double acc = 0.0L;
+          for (std::size_t p = 0; p < r; ++p)
+            acc += static_cast<long double>(a[p * stride + i]) *
+                   a[p * stride + j];
+          ref[i * n + j] += alpha * static_cast<double>(acc);
+        }
+      for (const Path path : {Path::kScalar, Path::kAvx2}) {
+        const KernelTable& t = simd::kernel_table(path);
+        std::vector<double> c = c0;
+        t.syrk_ut(c.data(), n, alpha, a.data(), r, n, stride);
+        for (std::size_t i = 0; i < n; ++i)
+          for (std::size_t j = 0; j < n; ++j) {
+            if (j >= i) {
+              EXPECT_LE(rel_diff(c[i * n + j], ref[i * n + j]), kArmTol)
+                  << "syrk r=" << r << " n=" << n << " path="
+                  << static_cast<int>(path);
+            } else {
+              // Strictly lower triangle must be untouched.
+              EXPECT_EQ(c[i * n + j], c0[i * n + j]);
+            }
+          }
+      }
+    }
+  }
+}
+
+// Per-arm determinism: repeated evaluation is bitwise stable (the fixed
+// blocked summation order cannot depend on anything but the shape).
+TEST(SimdFuzz, KernelsAreBitwiseDeterministicPerArm) {
+  RandomStream rng(4242);
+  const std::size_t m = 9, n = 13, k = 27, r = 21;
+  const auto a = random_buffer(m * k, rng);
+  const auto b = random_buffer(n * k, rng);
+  const auto s = random_buffer(r * n, rng);
+  for (const Path path : {Path::kScalar, Path::kAvx2}) {
+    const KernelTable& t = simd::kernel_table(path);
+    std::vector<double> c1(m * n, 0.0), c2(m * n, 0.0);
+    t.gemm_nt(c1.data(), n, a.data(), k, m, b.data(), k, n, k);
+    t.gemm_nt(c2.data(), n, a.data(), k, m, b.data(), k, n, k);
+    EXPECT_EQ(c1, c2);
+    std::vector<double> g1(n * n, 0.0), g2(n * n, 0.0);
+    t.syrk_ut(g1.data(), n, 1.0, s.data(), r, n, n);
+    t.syrk_ut(g2.data(), n, 1.0, s.data(), r, n, n);
+    EXPECT_EQ(g1, g2);
+    EXPECT_EQ(t.dot(a.data(), b.data(), k), t.dot(a.data(), b.data(), k));
+  }
+}
+
+TEST(SimdMatrix, StorageIs64ByteAligned) {
+  for (const std::size_t rows : {1u, 3u, 24u, 128u}) {
+    for (const std::size_t cols : {1u, 5u, 24u, 128u}) {
+      Matrix m(rows, cols);
+      EXPECT_EQ(reinterpret_cast<std::uintptr_t>(m.flat().data()) % 64, 0u)
+          << rows << "x" << cols;
+    }
+  }
+  CMatrix c(7, 9);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(c.flat().data()) % 64, 0u);
+}
+
+// The high-level entry points route through the dispatched kernels; they
+// must agree with the naive formulations on whatever arm is active.
+TEST(SimdHighLevel, MultiplyTransposedBMatchesNaive) {
+  RandomStream rng(11);
+  const Matrix a = random_gaussian(37, 24, rng);
+  const Matrix b = random_gaussian(19, 24, rng);
+  const Matrix fast = multiply_transposed_b(a, b);
+  const Matrix naive = a * b.transpose();
+  for (std::size_t i = 0; i < fast.rows(); ++i)
+    for (std::size_t j = 0; j < fast.cols(); ++j)
+      EXPECT_LE(rel_diff(fast(i, j), naive(i, j)), kArmTol);
+}
+
+TEST(SimdHighLevel, SymRankKMatchesNaive) {
+  RandomStream rng(13);
+  const Matrix b = random_gaussian(41, 24, rng);
+  Matrix g(24, 24);
+  sym_rank_k_update(g, 1.0, b.flat().data(), 41, 24, 24);
+  const Matrix naive = b.transpose() * b;
+  for (std::size_t i = 0; i < 24u; ++i)
+    for (std::size_t j = 0; j < 24u; ++j) {
+      EXPECT_LE(rel_diff(g(i, j), naive(i, j)), kArmTol);
+      EXPECT_EQ(g(i, j), g(j, i)) << "mirror must be exact";
+    }
+}
+
+// IncrementalCholesky and the one-shot cholesky() share the dispatched
+// dot kernel, so their factors agree to the last bit (the documented
+// path-internal identity — see linalg/cholesky.h).
+TEST(SimdHighLevel, IncrementalCholeskyBitIdenticalToOneShot) {
+  RandomStream rng(29);
+  const std::size_t n = 24;
+  const Matrix a = random_psd(n, n, rng, 1e-3);
+  const auto full = cholesky(a);
+  ASSERT_TRUE(full.has_value());
+  IncrementalCholesky inc(n);
+  for (std::size_t r = 0; r < n; ++r) {
+    std::vector<double> row(r + 1);
+    for (std::size_t j = 0; j <= r; ++j) row[j] = a(r, j);
+    ASSERT_TRUE(inc.append(row));
+  }
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j <= i; ++j)
+      EXPECT_EQ(inc.entry(i, j), full->lower()(i, j))
+          << "bit-identity broken at (" << i << "," << j << ")";
+}
+
+}  // namespace
+}  // namespace pardpp
