@@ -1,0 +1,130 @@
+#include "planar/transfer_current.h"
+
+#include <cstddef>
+#include <numeric>
+#include <vector>
+
+#include "linalg/cholesky.h"
+#include "support/combinatorics.h"
+#include "support/error.h"
+
+namespace pardpp {
+
+namespace {
+
+void check_spanning_input(const PlanarGraph& g) {
+  check_arg(g.num_vertices() >= 2,
+            "transfer_current: need at least 2 vertices");
+  check_arg(g.components().size() == 1,
+            "transfer_current: graph must be connected");
+}
+
+/// Reduced Laplacian (ground vertex = last): L_r(i,i) = deg(i),
+/// L_r(i,j) = -#edges(i,j), rows/cols restricted to the first |V|-1
+/// vertices. Assembled directly from the edge list — positive definite
+/// for connected graphs (matrix-tree theorem).
+Matrix reduced_laplacian(const PlanarGraph& g) {
+  const std::size_t r = g.num_vertices() - 1;
+  Matrix lap(r, r);
+  for (const auto& [u, v] : g.edges()) {
+    const auto a = static_cast<std::size_t>(u);
+    const auto b = static_cast<std::size_t>(v);
+    if (a < r) lap(a, a) += 1.0;
+    if (b < r) lap(b, b) += 1.0;
+    if (a < r && b < r) {
+      lap(a, b) -= 1.0;
+      lap(b, a) -= 1.0;
+    }
+  }
+  return lap;
+}
+
+/// Union-find over vertex ids; returns false when the edge closes a cycle.
+class DisjointSets {
+ public:
+  explicit DisjointSets(std::size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+
+  bool unite(int u, int v) {
+    const std::size_t ru = find(static_cast<std::size_t>(u));
+    const std::size_t rv = find(static_cast<std::size_t>(v));
+    if (ru == rv) return false;
+    parent_[ru] = rv;
+    return true;
+  }
+
+ private:
+  std::size_t find(std::size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  std::vector<std::size_t> parent_;
+};
+
+}  // namespace
+
+Matrix transfer_current_features(const PlanarGraph& g) {
+  check_spanning_input(g);
+  const std::size_t r = g.num_vertices() - 1;
+  const CholeskyDecomposition chol =
+      cholesky_or_throw(reduced_laplacian(g));
+  const Matrix& lower = chol.lower();
+  // Row e of F = B_r L⁻ᵀ is (L⁻¹ b_e)ᵀ: one forward substitution per
+  // edge, seeded by the two (or one, when an endpoint is grounded)
+  // nonzeros of the oriented incidence row.
+  Matrix f(g.num_edges(), r);
+  std::vector<double> y(r);
+  std::size_t e = 0;
+  for (const auto& [u, v] : g.edges()) {
+    const auto a = static_cast<std::size_t>(u);
+    const auto b = static_cast<std::size_t>(v);
+    for (std::size_t i = 0; i < r; ++i) {
+      double acc = (i == a ? 1.0 : 0.0) - (i == b ? 1.0 : 0.0);
+      for (std::size_t j = 0; j < i; ++j) acc -= lower(i, j) * y[j];
+      y[i] = acc / lower(i, i);
+    }
+    for (std::size_t i = 0; i < r; ++i) f(e, i) = y[i];
+    ++e;
+  }
+  return f;
+}
+
+Matrix transfer_current_matrix(const PlanarGraph& g) {
+  const Matrix f = transfer_current_features(g);
+  return multiply_transposed_b(f, f);
+}
+
+double log_spanning_tree_count(const PlanarGraph& g) {
+  check_spanning_input(g);
+  return cholesky_or_throw(reduced_laplacian(g)).log_det();
+}
+
+FeatureKdppOracle spanning_tree_oracle(const PlanarGraph& g) {
+  return {transfer_current_features(g), g.num_vertices() - 1};
+}
+
+std::vector<std::vector<int>> enumerate_spanning_trees(const PlanarGraph& g) {
+  check_spanning_input(g);
+  const auto edges = g.edges();
+  const std::size_t k = g.num_vertices() - 1;
+  std::vector<std::vector<int>> trees;
+  for_each_subset(
+      static_cast<int>(edges.size()), static_cast<int>(k),
+      [&](std::span<const int> subset) {
+        // k = |V|-1 acyclic edges span iff every union succeeds.
+        DisjointSets sets(g.num_vertices());
+        for (const int e : subset) {
+          const auto& [u, v] = edges[static_cast<std::size_t>(e)];
+          if (!sets.unite(u, v)) return;
+        }
+        trees.emplace_back(subset.begin(), subset.end());
+      });
+  return trees;
+}
+
+}  // namespace pardpp

@@ -1,0 +1,68 @@
+// Uniform spanning trees as a projection DPP over edges — the headline
+// application of sublinear repeated sampling in Anari–Liu–Vuong
+// (arXiv:2204.02570, PAPERS.md).
+//
+// For a connected graph G = (V, E) fix a ground vertex and let B_r be the
+// reduced oriented incidence matrix (|E| x (|V|-1), row e = (u,v) with
+// +1 at u and -1 at v, the ground vertex's column dropped) and
+// L_r = B_rᵀ B_r the reduced Laplacian. The transfer-current matrix
+//   T = B_r L_r⁻¹ B_rᵀ
+// is the orthogonal projection onto the cycle-free row space of B_r
+// (rank |V|-1), and the k-DPP it induces at k = |V|-1 is exactly the
+// uniform distribution over spanning trees (Burton–Pemantle): every
+// spanning tree's edge rows form a basis of the row space, and
+// det(T_S) = (#orientations cancel) / #trees for tree sets S, 0 for any
+// edge set containing a cycle. Its diagonal T_ee is the effective
+// resistance of edge e — the leverage-score profile the distillation
+// front end proposes from.
+//
+// Served through the existing stack by factorizing T = F Fᵀ with
+// F = B_r L⁻ᵀ (L the Cholesky lower factor of L_r, so F's rows are
+// forward-substitution half-solves): `FeatureKdppOracle(F, |V|-1)` then
+// answers every counting query, commit round, and distillation
+// restriction for spanning trees with no new oracle code. Exactness is
+// pinned against brute-force spanning-tree enumeration + the
+// matrix-tree count on small graphs (tests/test_transfer_current.cpp).
+//
+// One protocol caveat: the Gram FᵀF is exactly the identity, so the
+// eigenbasis behind the feature family's two-stage marginal draw is
+// non-unique — the commit path and the condition() reference resolve the
+// degeneracy differently and draw different (identically distributed)
+// sequences from one seed. The commit-vs-reference bit-identity contract
+// applies to simple spectra only; per-seed pool-size bit-identity holds
+// here as everywhere.
+#pragma once
+
+#include <vector>
+
+#include "dpp/feature_oracle.h"
+#include "linalg/matrix.h"
+#include "planar/graph.h"
+
+namespace pardpp {
+
+/// Edge-feature factor F (|E| x (|V|-1)) with F Fᵀ = the transfer-current
+/// projection. Throws InvalidArgument unless `g` is connected with at
+/// least 2 vertices (the DPP needs rank |V|-1 > 0).
+[[nodiscard]] Matrix transfer_current_features(const PlanarGraph& g);
+
+/// The full transfer-current matrix T = F Fᵀ (|E| x |E|) — a projection
+/// of rank |V|-1; exposed for tests and diagnostics (T_ee = effective
+/// resistance of edge e).
+[[nodiscard]] Matrix transfer_current_matrix(const PlanarGraph& g);
+
+/// log(#spanning trees) via the matrix-tree theorem (log det of the
+/// reduced Laplacian).
+[[nodiscard]] double log_spanning_tree_count(const PlanarGraph& g);
+
+/// The uniform-spanning-tree k-DPP over edge indices (k = |V|-1), ready
+/// for SamplerSession — including the distillation front end, whose
+/// proposal weights become the edges' effective resistances.
+[[nodiscard]] FeatureKdppOracle spanning_tree_oracle(const PlanarGraph& g);
+
+/// All spanning trees as sorted edge-index lists (brute force over
+/// (|V|-1)-subsets of edges; test-scale graphs only).
+[[nodiscard]] std::vector<std::vector<int>> enumerate_spanning_trees(
+    const PlanarGraph& g);
+
+}  // namespace pardpp

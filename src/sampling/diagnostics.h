@@ -22,6 +22,13 @@ struct SampleDiagnostics {
                                       ///< paid during this draw (0 on the
                                       ///< factor-native fast path and on
                                       ///< the condition() reference)
+  std::size_t tail_candidates = 0;    ///< persistent-proposal candidates that
+                                      ///< fell back to the exact full-n
+                                      ///< inverse-CDF tail path (0 when the
+                                      ///< mode is off)
+  std::size_t heavy_tail_pools = 0;   ///< persistent-proposal pools whose
+                                      ///< tail count exceeded the budget and
+                                      ///< triggered a domain re-validation
   PramStats pram;                     ///< PRAM depth/work/machines ledger
 
   /// Overall acceptance frequency of the rejection stages.

@@ -38,13 +38,38 @@
 //
 // Determinism protocol (a per-plan invariant, like the commit path's
 // draw protocols): one attempt consumes exactly m+1 uniforms — m
-// inverse-CDF candidate draws in pool order, then one acceptance uniform
-// (consumed even when Z(C) = 0 forces rejection) — and the inner sampler
-// consumes its own family protocol only on the accepted pool. Everything
-// is drawn from the caller's stream, so SamplerSession's per-draw stream
-// forking makes distilled draws bit-reproducible at every pool size.
+// candidate draws in pool order, then one acceptance uniform (consumed
+// even when Z(C) = 0 forces rejection) — and the inner sampler consumes
+// its own family protocol only on the accepted pool. Everything is drawn
+// from the caller's stream, so SamplerSession's per-draw stream forking
+// makes distilled draws bit-reproducible at every pool size.
+//
+// Persistent sparsified proposal (DESIGN.md §2 convention 11): the
+// per-draw-pool path maps each candidate uniform through an inverse-CDF
+// binary search over the full-n cumulative table — O(log n) probes per
+// candidate, each a cache miss at n = 10⁶. With
+// `DistillOptions::persistent_proposal` the plan materializes, once at
+// session-prime time, a reusable sparsified domain D of the
+// ~k·polylog(n) heaviest items with a Walker/Vose alias table over it,
+// and a compacted cumulative table over the tail [n] \ D. Each candidate
+// still consumes exactly one uniform u: the interval [0, 1) is split at
+// p_D = w(D)/τ, an in-domain u is rescaled into the O(1) alias lookup
+// (working set ~k·polylog(n), cache-resident across draws), and a tail u
+// falls back to the exact full-n-cost inverse-CDF path over the
+// compacted table. The per-candidate law is exactly q either way, so the
+// exactness proof above applies verbatim; only the uniform→candidate
+// *mapping* differs from the per-draw-pool protocol (the two modes draw
+// different — identically distributed — samples from one seed). A cheap
+// refresh rule re-validates the domain against the Maclaurin bound
+// (mass resum + bound recomputation, O(|D|)) every `refresh_interval`
+// pools and immediately for any rare heavy-tail pool (more tail
+// candidates than `tail_budget()`), so a profile drifting under the
+// plan (the dynamic-kernel hook) is caught instead of silently biasing
+// the acceptance bound.
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <vector>
@@ -65,13 +90,39 @@ struct DistillOptions {
   /// acceptance rate is ensemble-dependent (near 1 for flat spectra); a
   /// run hitting this bound signals a spectrum distillation fits badly.
   std::size_t max_attempts = 100000;
+  /// Opt-in persistent sparsified proposal (DESIGN.md §2 convention 11):
+  /// candidate draws go through an alias table over the sparsified
+  /// domain instead of the full-n binary search. Same output law, a
+  /// different (documented) uniform→candidate mapping.
+  bool persistent_proposal = false;
+  /// Sparsified-domain size |D| (0 = auto: max(m, k·⌈log₂n⌉²), clamped
+  /// to the number of positive-weight items).
+  std::size_t sparsified_domain = 0;
+  /// Pools between periodic domain re-validations on the persistent
+  /// path (heavy-tail pools additionally re-validate immediately).
+  std::size_t refresh_interval = 4096;
+};
+
+/// Carries the forensic trail of a distillation run that exhausted
+/// max_attempts: `diag.proposals` holds the attempts consumed,
+/// `diag.duplicate_rejects` the roundoff-promoted duplicate selections,
+/// and the persistent-proposal counters ride along — the acceptance-rate
+/// starvation evidence the plain what() string used to discard.
+class DistillationStarvation : public SamplingFailure {
+ public:
+  DistillationStarvation(const std::string& message, SampleDiagnostics diag)
+      : SamplingFailure(message), diag(diag) {}
+
+  SampleDiagnostics diag;
 };
 
 /// The distillation plan for one base oracle: proposal weights, their
-/// cumulative table, and the Maclaurin acceptance bound, computed once at
-/// session-prime time in O(n) from the oracle's DistillationProfile —
-/// never forcing the full-n spectral caches. Immutable after
-/// construction; concurrent draws share it read-only.
+/// cumulative table, the Maclaurin acceptance bound, and (opt-in) the
+/// persistent sparsified-proposal tables, computed once at session-prime
+/// time in O(n) from the oracle's DistillationProfile — never forcing
+/// the full-n spectral caches. The proposal tables are immutable after
+/// construction; concurrent draws share them read-only (the refresh-rule
+/// counters are relaxed atomics).
 class DistillationPlan {
  public:
   /// Runs the exact sampler on one accepted restricted oracle,
@@ -80,6 +131,23 @@ class DistillationPlan {
   using InnerSampler =
       std::function<SampleResult(const CountingOracle&, RandomStream&)>;
 
+  /// Lifetime counters of the persistent proposal (zero when the mode is
+  /// off). `heavy_tail_pools` counts pools whose tail-candidate count
+  /// exceeded tail_budget(); each such pool triggered a re-validation.
+  struct ProposalStats {
+    std::uint64_t pools = 0;
+    std::uint64_t tail_candidates = 0;
+    std::uint64_t heavy_tail_pools = 0;
+    std::uint64_t refreshes = 0;
+  };
+
+  /// Per-pool proposal outcome, for callers that fold the counters into
+  /// per-draw diagnostics (DistillationPlan::draw does).
+  struct PoolStats {
+    std::size_t tail_candidates = 0;
+    bool heavy_tail = false;
+  };
+
   /// Throws InvalidArgument when the oracle's family does not support
   /// distillation (empty profile).
   DistillationPlan(const CountingOracle& base, DistillOptions options);
@@ -87,7 +155,9 @@ class DistillationPlan {
   /// One exact draw: propose pools until acceptance, run `inner` on the
   /// accepted restriction, map positions back to ground-set ids.
   /// Diagnostics: proposals = pools proposed, accepted_batches = 1,
-  /// plus the inner run's counters.
+  /// plus the inner run's counters and the persistent-proposal tail
+  /// counters. Throws DistillationStarvation (diagnostics attached)
+  /// after max_attempts rejected pools.
   [[nodiscard]] SampleResult draw(RandomStream& rng,
                                   const InnerSampler& inner) const;
 
@@ -99,18 +169,85 @@ class DistillationPlan {
   /// Draws one candidate pool + its row scales (appended to the cleared
   /// outputs; exactly m_ uniforms) and builds the restricted oracle.
   /// Exposed for the fuzz tests; draw() is the sampling entry point.
+  /// Rejects k = 0 plans (no pool exists; draw() no-ops instead).
+  /// `pool_stats`, when non-null, receives this pool's tail counters.
   [[nodiscard]] std::unique_ptr<CountingOracle> propose(
       RandomStream& rng, std::vector<int>& items,
-      std::vector<double>& scales) const;
+      std::vector<double>& scales, PoolStats* pool_stats = nullptr) const;
+
+  /// Inverse-CDF candidate lookup over the full-n cumulative table for
+  /// target ∈ [0, τ]. The `target == τ` roundoff fallback clamps to the
+  /// last *positive-weight* index — never to a trailing zero-weight item,
+  /// whose row scale of 0 would inject a null row the proposal law
+  /// assigns probability zero. Exposed for the regression tests.
+  [[nodiscard]] std::size_t candidate_index(double target) const;
+
+  // ---- persistent sparsified proposal (convention 11) ----
+
+  [[nodiscard]] bool persistent() const noexcept {
+    return options_.persistent_proposal;
+  }
+  /// |D| — number of items the alias table covers (0 when the mode is
+  /// off or k = 0).
+  [[nodiscard]] std::size_t domain_size() const noexcept {
+    return domain_items_.size();
+  }
+  /// p_D = w(D)/τ — the fraction of candidate mass served by the O(1)
+  /// alias path; 1 - p_D is the per-candidate tail-fallback rate.
+  [[nodiscard]] double domain_mass_fraction() const noexcept {
+    return p_domain_;
+  }
+  /// Tail candidates per pool above which the pool is classed
+  /// heavy-tail and triggers an immediate re-validation.
+  [[nodiscard]] std::size_t tail_budget() const noexcept {
+    return tail_budget_;
+  }
+  [[nodiscard]] ProposalStats proposal_stats() const noexcept;
+
+  /// The refresh rule's re-validation: resums the domain and tail masses
+  /// from the authoritative full-n table and recomputes the Maclaurin
+  /// bound, throwing NumericalError if either drifted from the cached
+  /// values the alias fast path relies on — the guard that a profile
+  /// mutating under the plan (item churn) degrades loudly into a
+  /// rebuild instead of silently biasing the acceptance bound. O(|D| +
+  /// |tail|) resum, O(1) bound check; no-op when the mode is off.
+  void revalidate_domain() const;
 
  private:
+  [[nodiscard]] std::size_t propose_candidate_persistent(
+      double u, std::size_t& tail_hits) const;
+  void build_persistent_tables();
+
   const CountingOracle* base_;
   DistillOptions options_;
   std::size_t k_;
   std::size_t m_;                    // candidate-pool size
+  std::size_t rank_r_ = 0;           // clamped rank bound r behind M
   double log_m_;                     // log Maclaurin bound M
   std::vector<double> cumulative_;   // prefix sums of the weights
   std::vector<double> row_scale_;    // sqrt(tau / (m w_i)) per item
+  std::size_t last_positive_ = 0;    // last index with w_i > 0
+
+  // Persistent sparsified proposal (empty when the mode is off):
+  // domain_items_ holds |D| item ids in descending-weight order;
+  // cell c of the one-uniform alias table keeps domain_items_[c] when
+  // the cell fraction is below alias_prob_[c], else
+  // domain_items_[alias_other_[c]]. tail_items_ (ascending ids) and
+  // tail_cumulative_ form the compacted exact fallback table.
+  std::vector<int> domain_items_;
+  std::vector<double> alias_prob_;
+  std::vector<std::uint32_t> alias_other_;
+  std::vector<int> tail_items_;
+  std::vector<double> tail_cumulative_;
+  double domain_mass_ = 0.0;
+  double tail_mass_ = 0.0;
+  double p_domain_ = 1.0;
+  std::size_t tail_budget_ = 0;
+
+  mutable std::atomic<std::uint64_t> pools_{0};
+  mutable std::atomic<std::uint64_t> tail_candidates_{0};
+  mutable std::atomic<std::uint64_t> heavy_tail_pools_{0};
+  mutable std::atomic<std::uint64_t> refreshes_{0};
 };
 
 }  // namespace pardpp

@@ -1,5 +1,7 @@
 #include "sampling/session.h"
 
+#include <string>
+
 #include "sampling/sequential.h"
 
 namespace pardpp {
@@ -54,13 +56,25 @@ SampleResult SamplerSession::draw_distilled(RandomStream& rng) const {
   // for this draw, and use_commit picks the same commit-vs-reference
   // dispatch as the full-n path — with identical per-family protocols,
   // so the distilled bit-identity contract carries over.
-  return plan_->draw(rng, [this](const CountingOracle& restricted,
-                                 RandomStream& inner_rng) {
-    const auto state = options_.use_commit
-                           ? restricted.make_committed()
-                           : make_condition_reference(restricted);
-    return run(*state, inner_rng);
-  });
+  try {
+    return plan_->draw(rng, [this](const CountingOracle& restricted,
+                                   RandomStream& inner_rng) {
+      const auto state = options_.use_commit
+                             ? restricted.make_committed()
+                             : make_condition_reference(restricted);
+      return run(*state, inner_rng);
+    });
+  } catch (const DistillationStarvation& starved) {
+    // Re-throw with the session context attached; the diagnostics struct
+    // (attempts-at-failure in .proposals, duplicate_rejects, tail
+    // counters) rides along unchanged for the caller's forensics.
+    throw DistillationStarvation(
+        std::string(starved.what()) + " [session: family " + base_->name() +
+            ", kind " + sampler_kind_name(options_.kind) +
+            (options_.use_commit ? ", commit path" : ", condition() reference") +
+            "]",
+        starved.diag);
+  }
 }
 
 SampleResult SamplerSession::draw(RandomStream& rng) {

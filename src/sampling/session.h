@@ -40,6 +40,19 @@ enum class SamplerKind {
   kEntropic,    ///< Theorem 29 batched rejection
 };
 
+[[nodiscard]] constexpr const char* sampler_kind_name(
+    SamplerKind kind) noexcept {
+  switch (kind) {
+    case SamplerKind::kSequential:
+      return "sequential";
+    case SamplerKind::kBatched:
+      return "batched";
+    case SamplerKind::kEntropic:
+      return "entropic";
+  }
+  return "unknown";
+}
+
 struct SessionOptions {
   SamplerKind kind = SamplerKind::kSequential;
   /// false = run the condition() reference path (fresh conditioned oracle
@@ -80,6 +93,12 @@ class SamplerSession {
 
   [[nodiscard]] const SessionOptions& options() const noexcept {
     return options_;
+  }
+
+  /// The primed distillation plan (nullptr unless distill.enabled) — the
+  /// persistent-proposal stats surface for benches and tests.
+  [[nodiscard]] const DistillationPlan* distillation_plan() const noexcept {
+    return plan_.get();
   }
 
  private:
