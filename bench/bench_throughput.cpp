@@ -152,6 +152,17 @@ void run_config(const CountingOracle& oracle, const ThroughputConfig& config,
          JsonSeries::number("speedup", vs_pool1, 1),
          JsonSeries::number("speedup_vs_condition", vs_condition, 2),
          JsonSeries::number("spectral_refreshes", refreshes[p]),
+         // Session-lifetime guard/degradation counters (convention 12):
+         // non-identity informational fields for compare_bench.py, and a
+         // cheap sentinel that the bench ran failure-free (all 0 unless a
+         // PARDPP_FAILPOINTS schedule was armed under the bench).
+         JsonSeries::number("retries", commit_session.health().retries),
+         JsonSeries::number("degraded_draws",
+                            commit_session.health().degraded_proposal +
+                                commit_session.health().degraded_undistilled +
+                                commit_session.health().degraded_reference),
+         JsonSeries::number("guard_failures",
+                            commit_session.health().failures),
          JsonSeries::number("condition_baseline_ms", reference_ms, 3),
          JsonSeries::text("identical", identical ? "yes" : "no"),
          JsonSeries::boolean("regression", regression || !identical)});

@@ -11,7 +11,17 @@
 //       Samples a uniform perfect matching (domino tiling) of a grid.
 // Common flags: --seed <s>, --trials <t> (repeat and report marginals).
 //
-// Exit codes: 0 success, 1 usage error, 2 runtime failure.
+// Exit codes map the library's exception taxonomy so shell callers and
+// service wrappers can branch on the failure class without parsing
+// stderr:
+//   0  success
+//   1  usage error (bad flags, bad input shape)
+//   2  other pardpp::Error / unexpected failure
+//   3  pardpp::InvalidArgument     (a precondition the caller controls)
+//   4  pardpp::NumericalError      (non-PSD kernel, pivot failure, drift)
+//   5  pardpp::SamplingFailure     (rejection budget exhausted)
+//   6  pardpp::DistillationStarvation (no candidate pool accepted;
+//      stderr carries the attempts/duplicate-rejects forensics)
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -197,8 +207,29 @@ int main(int argc, char** argv) {
       return 1;
     }
     return run_dpp(options, m);
+  } catch (const DistillationStarvation& e) {
+    // Most-derived first: starvation is a SamplingFailure with a
+    // diagnostics payload worth surfacing.
+    std::fprintf(stderr,
+                 "pardpp starvation: %s\n"
+                 "  attempts=%zu duplicate_rejects=%zu tail_candidates=%zu\n",
+                 e.what(), e.diag.proposals, e.diag.duplicate_rejects,
+                 e.diag.tail_candidates);
+    return 6;
+  } catch (const SamplingFailure& e) {
+    std::fprintf(stderr, "pardpp sampling failure: %s\n", e.what());
+    return 5;
+  } catch (const NumericalError& e) {
+    std::fprintf(stderr, "pardpp numerical error: %s\n", e.what());
+    return 4;
+  } catch (const InvalidArgument& e) {
+    std::fprintf(stderr, "pardpp invalid argument: %s\n", e.what());
+    return 3;
   } catch (const Error& e) {
     std::fprintf(stderr, "pardpp error: %s\n", e.what());
+    return 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "unexpected error: %s\n", e.what());
     return 2;
   }
 }

@@ -85,6 +85,12 @@ NON_IDENTITY_FIELDS = set(TIME_FIELDS) | set(HOST_FIELDS) | {
     "pram_depth",
     "queries_per_wave",
     "q_per_wave",
+    # Session failure/recovery counters (convention 12): informational
+    # health telemetry, all zero unless a PARDPP_FAILPOINTS schedule was
+    # armed for the run — never part of a record's identity.
+    "retries",
+    "degraded_draws",
+    "guard_failures",
 }
 
 

@@ -19,6 +19,7 @@
 
 #include "parallel/execution.h"
 #include "support/error.h"
+#include "support/failpoint.h"
 #include "support/random.h"
 
 namespace pardpp {
@@ -192,6 +193,9 @@ class CountingOracle {
     check_arg(ts.size() == out.size(), "query_many: output size mismatch");
     prepare_concurrent();
     ctx.for_each_chunk(0, ts.size(), [&](std::size_t lo, std::size_t hi) {
+      check_numeric(!failpoint("oracle.query_many"),
+                    "query_many: injected chunk failure "
+                    "[failpoint oracle.query_many]");
       const auto state = make_conditional_state();
       for (std::size_t q = lo; q < hi; ++q) out[q] = state->log_joint(ts[q]);
     });

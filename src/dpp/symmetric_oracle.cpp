@@ -9,6 +9,7 @@
 #include "linalg/cholesky.h"
 #include "linalg/schur.h"
 #include "support/combinatorics.h"
+#include "support/failpoint.h"
 #include "support/logsum.h"
 
 namespace pardpp {
@@ -263,7 +264,11 @@ class SymmetricKdppOracle::State final : public ConditionalState {
       probe_.downdated_traces(basis_->traces, basis_->traces_abs, vmax,
                               traces_, traces_abs_);
       const NewtonEsp ne = esp_from_power_traces(traces_, vmax);
-      if (newton_trustworthy(traces_, traces_abs_, ne, vmax)) {
+      // The failpoint forces the cancellation guard's fallback branch —
+      // the spectral path below, which is exact — so recovery tests can
+      // exercise it on well-conditioned kernels.
+      if (newton_trustworthy(traces_, traces_abs_, ne, vmax) &&
+          !failpoint("symmetric.query.guard")) {
         const double tail = std::log(ne.e[vmax]) +
                             static_cast<double>(vmax) * basis_->log_scale;
         return log_det_t + tail - log_z_;
@@ -354,6 +359,9 @@ class SymmetricKdppOracle::Committed final : public CommittedOracle {
     // used to answer it. This validates the batch (P[batch ⊆ S] > 0)
     // before anything else mutates, so a throw here leaves the state
     // exactly as it was.
+    check_numeric(!failpoint("symmetric.commit.pivot"),
+                  "commit: injected pivot failure "
+                  "[failpoint symmetric.commit.pivot]");
     double max_diag = 0.0;
     for (const int i : batch)
       max_diag = std::max(max_diag, std::abs(src(static_cast<std::size_t>(i),
@@ -602,7 +610,10 @@ class SymmetricKdppOracle::Committed final : public CommittedOracle {
   // whole round to a spectral refresh.
   void finalize_fast() {
     const NewtonEsp ne = esp_from_power_traces(basis_.traces, k_cur_);
-    if (!newton_trustworthy(basis_.traces, basis_.traces_abs, ne, k_cur_)) {
+    // The failpoint demotes the round to a spectral refresh — the same
+    // exact fallback a genuine cancellation-guard trip pays.
+    if (!newton_trustworthy(basis_.traces, basis_.traces_abs, ne, k_cur_) ||
+        failpoint("symmetric.commit.guard")) {
       spectral_refresh();
       return;
     }

@@ -13,6 +13,7 @@
 #include "linalg/matrix.h"
 #include "linalg/simd.h"
 #include "support/error.h"
+#include "support/failpoint.h"
 #include "support/logsum.h"
 
 namespace pardpp {
@@ -332,6 +333,9 @@ inline void cholesky_update(Matrix& lower, std::span<double> v) {
 /// Cholesky that throws NumericalError on non-PD input.
 [[nodiscard]] inline CholeskyDecomposition cholesky_or_throw(const Matrix& a,
                                                              double tol = 1e-12) {
+  check_numeric(!failpoint("linalg.cholesky.pivot"),
+                "cholesky: injected pivot failure "
+                "[failpoint linalg.cholesky.pivot]");
   auto result = cholesky(a, tol);
   check_numeric(result.has_value(), "cholesky: matrix not positive definite");
   return std::move(*result);

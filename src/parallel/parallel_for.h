@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "parallel/thread_pool.h"
+#include "support/failpoint.h"
 
 namespace pardpp {
 
@@ -84,6 +85,9 @@ void parallel_for_chunks(ThreadPool& pool, std::size_t begin, std::size_t end,
     const std::size_t hi = std::min(end, lo + chunk_size);
     futures.push_back(pool.submit([lo, hi, &fn] {
       const detail::ParallelWorkerScope scope;
+      if (failpoint("parallel.task"))
+        throw Error("parallel_for: injected task failure "
+                    "[failpoint parallel.task]");
       fn(lo, hi);
     }));
   }
@@ -127,6 +131,9 @@ inline void parallel_invoke(ThreadPool& pool,
   for (auto& thunk : thunks) {
     futures.push_back(pool.submit([thunk = std::move(thunk)] {
       const detail::ParallelWorkerScope scope;
+      if (failpoint("parallel.task"))
+        throw Error("parallel_invoke: injected task failure "
+                    "[failpoint parallel.task]");
       thunk();
     }));
   }

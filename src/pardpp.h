@@ -7,6 +7,7 @@
 // Support
 #include "support/combinatorics.h"
 #include "support/error.h"
+#include "support/failpoint.h"
 #include "support/logsum.h"
 #include "support/random.h"
 #include "support/timer.h"

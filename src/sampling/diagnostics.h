@@ -1,11 +1,70 @@
-// Result/diagnostics structs shared by all samplers.
+// Result/diagnostics structs shared by all samplers, plus the unified
+// GuardEvent channel every SamplerSession degradation/retry/guard event
+// flows through (DESIGN.md §2 convention 12).
 #pragma once
 
+#include <cstddef>
+#include <functional>
+#include <string>
 #include <vector>
 
 #include "parallel/pram.h"
 
 namespace pardpp {
+
+/// What a SamplerSession guard event reports.
+enum class GuardEventKind {
+  kDrawFailure,         ///< an attempt threw a typed error (detail = what())
+  kRetry,               ///< re-attempting on the same ladder rung
+  kDegradeProposal,     ///< ladder: persistent → per-draw proposal
+  kDegradeUndistilled,  ///< ladder: distilled → full-n path
+  kDegradeReference,    ///< ladder: commit → condition() reference
+  kSpectralRefresh,     ///< a draw paid eigensolve fallbacks (detail = count)
+  kStarvation,          ///< DistillationStarvation surfaced
+  kProposalDrift,       ///< ProposalDriftError surfaced
+  kPoisoned,            ///< the session poisoned itself (detail = reason)
+};
+
+[[nodiscard]] constexpr const char* guard_event_kind_name(
+    GuardEventKind kind) noexcept {
+  switch (kind) {
+    case GuardEventKind::kDrawFailure:
+      return "draw_failure";
+    case GuardEventKind::kRetry:
+      return "retry";
+    case GuardEventKind::kDegradeProposal:
+      return "degrade_proposal";
+    case GuardEventKind::kDegradeUndistilled:
+      return "degrade_undistilled";
+    case GuardEventKind::kDegradeReference:
+      return "degrade_reference";
+    case GuardEventKind::kSpectralRefresh:
+      return "spectral_refresh";
+    case GuardEventKind::kStarvation:
+      return "starvation";
+    case GuardEventKind::kProposalDrift:
+      return "proposal_drift";
+    case GuardEventKind::kPoisoned:
+      return "poisoned";
+  }
+  return "unknown";
+}
+
+/// One recovery/degradation/guard event from a SamplerSession draw.
+/// `draw_index` is the draw's stream index (draw_many position, or the
+/// serial draw ordinal), `attempt` the 0-based recovery attempt it
+/// happened on.
+struct GuardEvent {
+  GuardEventKind kind;
+  std::size_t draw_index = 0;
+  std::size_t attempt = 0;
+  std::string detail;
+};
+
+/// Observer for GuardEvents. Invoked under a session-internal mutex
+/// (events from concurrent draw_many chunks arrive serialized); keep it
+/// cheap and do not re-enter the session from inside it.
+using GuardEventSink = std::function<void(const GuardEvent&)>;
 
 /// Counters describing one sampler execution.
 struct SampleDiagnostics {
@@ -29,6 +88,13 @@ struct SampleDiagnostics {
   std::size_t heavy_tail_pools = 0;   ///< persistent-proposal pools whose
                                       ///< tail count exceeded the budget and
                                       ///< triggered a domain re-validation
+  std::size_t recovery_retries = 0;   ///< extra attempts the session's
+                                      ///< recovery ladder spent on this draw
+                                      ///< (0 = first attempt succeeded)
+  std::size_t degradation_level = 0;  ///< ladder rung that produced this
+                                      ///< draw: 0 configured path, 1
+                                      ///< per-draw proposal, 2 undistilled,
+                                      ///< 3 condition() reference
   PramStats pram;                     ///< PRAM depth/work/machines ledger
 
   /// Overall acceptance frequency of the rejection stages.

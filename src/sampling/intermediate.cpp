@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "support/combinatorics.h"
+#include "support/failpoint.h"
 #include "support/logsum.h"
 
 namespace pardpp {
@@ -251,6 +252,10 @@ DistillationPlan::ProposalStats DistillationPlan::proposal_stats()
 void DistillationPlan::revalidate_domain() const {
   if (domain_items_.empty()) return;
   refreshes_.fetch_add(1, std::memory_order_relaxed);
+  if (failpoint("distill.revalidate"))
+    throw ProposalDriftError(
+        "DistillationPlan: injected revalidation failure "
+        "[failpoint distill.revalidate]");
   const double tau = cumulative_.back();
   // Resum the domain mass from the authoritative full-n table (w_i is
   // the prefix-sum difference, the exact value the tables were built
@@ -262,12 +267,14 @@ void DistillationPlan::revalidate_domain() const {
     domain_mass += cumulative_[i] - below;
   }
   const double tol = 1e-9 * std::max(tau, 1.0);
-  check_numeric(std::abs(domain_mass - domain_mass_) <= tol,
-                "DistillationPlan: sparsified-domain mass drifted from the "
-                "primed value — profile mutated under the plan; rebuild it");
-  check_numeric(std::abs((domain_mass_ + tail_mass_) - tau) <= tol,
-                "DistillationPlan: domain + tail mass no longer sums to tau "
-                "— profile mutated under the plan; rebuild it");
+  if (std::abs(domain_mass - domain_mass_) > tol)
+    throw ProposalDriftError(
+        "DistillationPlan: sparsified-domain mass drifted from the "
+        "primed value — profile mutated under the plan; rebuild it");
+  if (std::abs((domain_mass_ + tail_mass_) - tau) > tol)
+    throw ProposalDriftError(
+        "DistillationPlan: domain + tail mass no longer sums to tau "
+        "— profile mutated under the plan; rebuild it");
   // Re-derive the Maclaurin bound from tau and the cached rank bound: the
   // acceptance test divides by M every pool, so a drifted bound silently
   // reweights the output law — exactly the failure the refresh rule
@@ -278,10 +285,11 @@ void DistillationPlan::revalidate_domain() const {
       log_binomial(rank_r_, k_) +
       static_cast<double>(k_) *
           (std::log(tau) - std::log(static_cast<double>(rank_r_)));
-  check_numeric(std::abs(log_m_now - log_m_) <= 1e-12 * std::max(
-                    std::abs(log_m_), 1.0),
-                "DistillationPlan: Maclaurin acceptance bound drifted from "
-                "the primed value — profile mutated under the plan");
+  if (std::abs(log_m_now - log_m_) >
+      1e-12 * std::max(std::abs(log_m_), 1.0))
+    throw ProposalDriftError(
+        "DistillationPlan: Maclaurin acceptance bound drifted from "
+        "the primed value — profile mutated under the plan");
 }
 
 SampleResult DistillationPlan::draw(RandomStream& rng,
@@ -302,6 +310,13 @@ SampleResult DistillationPlan::draw(RandomStream& rng,
     // the header), so the stream position after a rejection does not
     // depend on why the pool was rejected.
     const double u = rng.uniform();
+    // Injected rejection AFTER the acceptance uniform is consumed: the
+    // stream protocol is preserved, and a rejected-and-redrawn pool
+    // leaves the output law untouched (the exactness argument in the
+    // header) — the one fault class whose injection is law-invariant at
+    // any rate, which is what lets the CI fault leg run the statistical
+    // harness with this site armed.
+    if (failpoint("distill.accept")) continue;
     if (u <= 0.0 || std::log(u) >= log_z - log_m_) continue;
     SampleResult result = inner(*restricted, rng);
     result.diag.proposals += attempt + 1;

@@ -116,6 +116,19 @@ class DistillationStarvation : public SamplingFailure {
   SampleDiagnostics diag;
 };
 
+/// Thrown by `revalidate_domain()` when the persistent sparsified
+/// proposal's cached masses or acceptance bound no longer match the
+/// authoritative full-n table — the profile mutated under the plan.
+/// Distinguished from a generic NumericalError because it indicts the
+/// *shared* plan, not one draw: every future draw through the same plan
+/// will fail the same way, so SamplerSession treats an unrecovered drift
+/// as poisoning (DESIGN.md §2 convention 12) while a per-draw numerical
+/// failure only burns that draw's retry budget.
+class ProposalDriftError : public NumericalError {
+ public:
+  using NumericalError::NumericalError;
+};
+
 /// The distillation plan for one base oracle: proposal weights, their
 /// cumulative table, the Maclaurin acceptance bound, and (opt-in) the
 /// persistent sparsified-proposal tables, computed once at session-prime
@@ -206,7 +219,7 @@ class DistillationPlan {
 
   /// The refresh rule's re-validation: resums the domain and tail masses
   /// from the authoritative full-n table and recomputes the Maclaurin
-  /// bound, throwing NumericalError if either drifted from the cached
+  /// bound, throwing ProposalDriftError if either drifted from the cached
   /// values the alias fast path relies on — the guard that a profile
   /// mutating under the plan (item churn) degrades loudly into a
   /// rebuild instead of silently biasing the acceptance bound. O(|D| +

@@ -1,23 +1,38 @@
 #include "sampling/session.h"
 
+#include <exception>
+#include <optional>
 #include <string>
+#include <utility>
 
 #include "sampling/sequential.h"
+#include "support/failpoint.h"
 
 namespace pardpp {
 
 SamplerSession::SamplerSession(const CountingOracle& base,
                                SessionOptions options)
-    : base_(&base), options_(options) {
+    : base_(&base), options_(std::move(options)) {
   if (options_.distill.enabled) {
     // The distillation plan is the whole point of the front end: an O(n)
     // pass over the ensemble diagonal instead of the full-n spectral
     // preprocessing, which is infeasible at the ground sizes this path
-    // serves. The base oracle's caches stay cold.
+    // serves. The base oracle's caches stay cold (until a recovery rung
+    // degrades to the undistilled path, which primes them lazily).
     plan_ = std::make_unique<DistillationPlan>(base, options_.distill);
+    if (options_.recovery.enabled && options_.recovery.degrade_proposal &&
+        options_.distill.persistent_proposal) {
+      DistillOptions perdraw = options_.distill;
+      perdraw.persistent_proposal = false;
+      perdraw_plan_ = std::make_unique<DistillationPlan>(base, perdraw);
+    }
     return;
   }
-  base_->prepare_concurrent();
+  ensure_base_primed();
+}
+
+void SamplerSession::ensure_base_primed() const {
+  std::call_once(base_primed_, [this] { base_->prepare_concurrent(); });
 }
 
 std::unique_ptr<CommittedOracle> SamplerSession::make_state() const {
@@ -51,14 +66,15 @@ SampleResult SamplerSession::run(CommittedOracle& state,
   return result;
 }
 
-SampleResult SamplerSession::draw_distilled(RandomStream& rng) const {
+SampleResult SamplerSession::draw_with_plan(const DistillationPlan& plan,
+                                            RandomStream& rng) const {
   // Fresh inner state per accepted pool: the restricted oracle lives only
   // for this draw, and use_commit picks the same commit-vs-reference
   // dispatch as the full-n path — with identical per-family protocols,
   // so the distilled bit-identity contract carries over.
   try {
-    return plan_->draw(rng, [this](const CountingOracle& restricted,
-                                   RandomStream& inner_rng) {
+    return plan.draw(rng, [this](const CountingOracle& restricted,
+                                 RandomStream& inner_rng) {
       const auto state = options_.use_commit
                              ? restricted.make_committed()
                              : make_condition_reference(restricted);
@@ -77,36 +93,268 @@ SampleResult SamplerSession::draw_distilled(RandomStream& rng) const {
   }
 }
 
-SampleResult SamplerSession::draw(RandomStream& rng) {
-  if (plan_ != nullptr) return draw_distilled(rng);
-  if (serial_state_ == nullptr) {
-    serial_state_ = make_state();
-  } else {
-    serial_state_->reset();
+SampleResult SamplerSession::run_rung(Rung rung,
+                                      std::unique_ptr<CommittedOracle>& slot,
+                                      RandomStream& rng) const {
+  switch (rung) {
+    case Rung::kConfigured:
+      if (plan_ != nullptr) return draw_with_plan(*plan_, rng);
+      if (slot == nullptr) {
+        slot = make_state();
+      } else {
+        slot->reset();
+      }
+      return run(*slot, rng);
+    case Rung::kPerDrawProposal:
+      return draw_with_plan(*perdraw_plan_, rng);
+    case Rung::kUndistilled: {
+      ensure_base_primed();
+      const auto state = make_state();
+      return run(*state, rng);
+    }
+    case Rung::kReference: {
+      ensure_base_primed();
+      const auto state = make_condition_reference(*base_);
+      return run(*state, rng);
+    }
   }
-  return run(*serial_state_, rng);
+  throw Error("SamplerSession: invalid recovery rung");
+}
+
+SamplerSession::Rung SamplerSession::next_rung(Rung rung) const {
+  const RecoveryOptions& rec = options_.recovery;
+  const auto available = [&](Rung r) {
+    switch (r) {
+      case Rung::kConfigured:
+        return true;
+      case Rung::kPerDrawProposal:
+        return rec.degrade_proposal && perdraw_plan_ != nullptr;
+      case Rung::kUndistilled:
+        return rec.degrade_undistilled && plan_ != nullptr;
+      case Rung::kReference:
+        // Only a real degradation when the session runs the commit path;
+        // with use_commit = false the undistilled rung (or, undistilled
+        // sessions, the configured path) already IS the reference.
+        return rec.degrade_reference && options_.use_commit;
+    }
+    return false;
+  };
+  for (int r = static_cast<int>(rung) + 1;
+       r <= static_cast<int>(Rung::kReference); ++r) {
+    if (available(static_cast<Rung>(r))) return static_cast<Rung>(r);
+  }
+  return rung;  // ladder exhausted: remaining attempts retry in place
+}
+
+void SamplerSession::throw_if_poisoned() const {
+  if (!poisoned_.load(std::memory_order_acquire)) return;
+  std::string reason;
+  {
+    const std::lock_guard<std::mutex> lock(state_mutex_);
+    reason = poison_reason_;
+  }
+  throw SessionPoisoned("SamplerSession: poisoned (" + reason +
+                        "); rebuild the session");
+}
+
+void SamplerSession::emit(GuardEventKind kind, std::size_t index,
+                          std::size_t attempt, std::string detail) const {
+  if (!options_.guard_events) return;
+  const std::lock_guard<std::mutex> lock(state_mutex_);
+  options_.guard_events(
+      GuardEvent{kind, index, attempt, std::move(detail)});
+}
+
+void SamplerSession::poison(std::size_t index, std::size_t attempt,
+                            const std::string& reason) {
+  {
+    const std::lock_guard<std::mutex> lock(state_mutex_);
+    if (!poisoned_.load(std::memory_order_relaxed)) {
+      poison_reason_ = reason;
+      poisoned_.store(true, std::memory_order_release);
+    }
+  }
+  emit(GuardEventKind::kPoisoned, index, attempt, reason);
+}
+
+void SamplerSession::note_success(SampleResult& result, Rung rung,
+                                  std::size_t attempt, std::size_t index) {
+  result.diag.recovery_retries = attempt;
+  result.diag.degradation_level = static_cast<std::size_t>(rung);
+  if (result.diag.spectral_refreshes > 0) {
+    spectral_refreshes_.fetch_add(result.diag.spectral_refreshes,
+                                  std::memory_order_relaxed);
+    emit(GuardEventKind::kSpectralRefresh, index, attempt,
+         std::to_string(result.diag.spectral_refreshes) + " refresh(es)");
+  }
+  switch (rung) {
+    case Rung::kConfigured:
+      break;
+    case Rung::kPerDrawProposal:
+      degraded_proposal_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case Rung::kUndistilled:
+      degraded_undistilled_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case Rung::kReference:
+      degraded_reference_.fetch_add(1, std::memory_order_relaxed);
+      break;
+  }
+}
+
+void SamplerSession::note_failure(std::size_t index, std::size_t attempt,
+                                  const std::exception_ptr& error,
+                                  bool final_failure) {
+  try {
+    std::rethrow_exception(error);
+  } catch (const DistillationStarvation& starved) {
+    starvations_.fetch_add(1, std::memory_order_relaxed);
+    emit(GuardEventKind::kStarvation, index, attempt, starved.what());
+  } catch (const ProposalDriftError& drift) {
+    proposal_drifts_.fetch_add(1, std::memory_order_relaxed);
+    emit(GuardEventKind::kProposalDrift, index, attempt, drift.what());
+    // An unrecovered drift indicts the shared plan: every future draw
+    // through it would fail identically, so fail them fast and loudly.
+    if (final_failure) poison(index, attempt, drift.what());
+  } catch (const std::exception& error_obj) {
+    emit(GuardEventKind::kDrawFailure, index, attempt, error_obj.what());
+  } catch (...) {
+    emit(GuardEventKind::kDrawFailure, index, attempt, "unknown exception");
+  }
+  if (final_failure) failures_.fetch_add(1, std::memory_order_relaxed);
+}
+
+SampleResult SamplerSession::draw_indexed(
+    std::size_t index, RandomStream& rng,
+    std::unique_ptr<CommittedOracle>& slot) {
+  throw_if_poisoned();
+  draws_.fetch_add(1, std::memory_order_relaxed);
+  // One deterministic-firing scope per draw, keyed by the draw's stream
+  // index: an armed failpoint schedule fires as a function of the index
+  // alone — never of the pool size or the chunk layout — which is what
+  // keeps the bit-identity contracts testable with faults injected.
+  // Constructed only when armed, so the inactive cost stays one load.
+  std::optional<FailpointScope> scope;
+  if (FailpointRegistry::armed())
+    scope.emplace(static_cast<std::uint64_t>(index));
+
+  if (!options_.recovery.enabled) {
+    try {
+      SampleResult result = run_rung(Rung::kConfigured, slot, rng);
+      note_success(result, Rung::kConfigured, 0, index);
+      return result;
+    } catch (...) {
+      // Failure atomicity: the chunk state may be mid-run; discard it so
+      // the next draw rebuilds from the shared caches.
+      slot.reset();
+      note_failure(index, 0, std::current_exception(),
+                   /*final_failure=*/true);
+      throw;
+    }
+  }
+
+  // Recovery: attempt a consumes the stream forked from the draw's
+  // stream by attempt index — the same per-index protocol draw_many uses
+  // one level up — so a recovered draw is a function of (seed, index,
+  // attempt sequence) and reproduces bit-identically at every pool size.
+  const MachineStreams attempts(rng);
+  Rung rung = Rung::kConfigured;
+  const std::size_t budget = options_.recovery.max_retries;
+  std::exception_ptr last;
+  for (std::size_t attempt = 0; attempt <= budget; ++attempt) {
+    RandomStream attempt_rng = attempts.stream(attempt);
+    try {
+      SampleResult result = run_rung(rung, slot, attempt_rng);
+      note_success(result, rung, attempt, index);
+      return result;
+    } catch (const Error&) {
+      slot.reset();
+      last = std::current_exception();
+      const bool more = attempt < budget;
+      note_failure(index, attempt, last, /*final_failure=*/!more);
+      if (!more) break;
+      retries_.fetch_add(1, std::memory_order_relaxed);
+      const Rung next = next_rung(rung);
+      if (next != rung) {
+        rung = next;
+        GuardEventKind kind = GuardEventKind::kRetry;
+        switch (rung) {
+          case Rung::kPerDrawProposal:
+            kind = GuardEventKind::kDegradeProposal;
+            break;
+          case Rung::kUndistilled:
+            kind = GuardEventKind::kDegradeUndistilled;
+            break;
+          case Rung::kReference:
+            kind = GuardEventKind::kDegradeReference;
+            break;
+          case Rung::kConfigured:
+            break;
+        }
+        emit(kind, index, attempt + 1, "");
+      } else {
+        emit(GuardEventKind::kRetry, index, attempt + 1, "");
+      }
+    } catch (...) {
+      // Non-pardpp exceptions (std::bad_alloc & co.) never consume the
+      // retry budget: the ladder is for the library's typed failure
+      // model, not for conditions recovery cannot reason about.
+      slot.reset();
+      note_failure(index, attempt, std::current_exception(),
+                   /*final_failure=*/true);
+      throw;
+    }
+  }
+  std::rethrow_exception(last);
+}
+
+SampleResult SamplerSession::draw(RandomStream& rng) {
+  std::unique_ptr<CommittedOracle>& slot = serial_state_;
+  return draw_indexed(
+      serial_index_.fetch_add(1, std::memory_order_relaxed), rng, slot);
 }
 
 std::vector<SampleResult> SamplerSession::draw_many(
     std::size_t count, RandomStream& rng, const ExecutionContext& ctx) {
+  throw_if_poisoned();
   std::vector<SampleResult> out(count);
   const MachineStreams streams(rng);
   ctx.for_each_chunk(
       0, count,
       [&](std::size_t lo, std::size_t hi) {
-        const auto state = plan_ != nullptr ? nullptr : make_state();
+        // One committed state per chunk, built lazily by the first
+        // non-distilled configured-rung draw and discarded on failure.
+        std::unique_ptr<CommittedOracle> state;
         for (std::size_t i = lo; i < hi; ++i) {
           RandomStream stream = streams.stream(i);
-          if (plan_ != nullptr) {
-            out[i] = draw_distilled(stream);
-            continue;
-          }
-          if (i != lo) state->reset();
-          out[i] = run(*state, stream);
+          out[i] = draw_indexed(i, stream, state);
         }
       },
       /*grain=*/1);
   return out;
+}
+
+SessionHealth SamplerSession::health() const {
+  SessionHealth health;
+  health.draws = draws_.load(std::memory_order_relaxed);
+  health.failures = failures_.load(std::memory_order_relaxed);
+  health.retries = retries_.load(std::memory_order_relaxed);
+  health.degraded_proposal =
+      degraded_proposal_.load(std::memory_order_relaxed);
+  health.degraded_undistilled =
+      degraded_undistilled_.load(std::memory_order_relaxed);
+  health.degraded_reference =
+      degraded_reference_.load(std::memory_order_relaxed);
+  health.spectral_refreshes =
+      spectral_refreshes_.load(std::memory_order_relaxed);
+  health.starvations = starvations_.load(std::memory_order_relaxed);
+  health.proposal_drifts = proposal_drifts_.load(std::memory_order_relaxed);
+  health.poisoned = poisoned_.load(std::memory_order_acquire);
+  if (health.poisoned) {
+    const std::lock_guard<std::mutex> lock(state_mutex_);
+    health.poison_reason = poison_reason_;
+  }
+  return health;
 }
 
 }  // namespace pardpp

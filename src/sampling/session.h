@@ -19,9 +19,28 @@
 // preprocessing — which draws the identical samples from the same seed:
 // the bit-identity contract bench_throughput and the statistical harness
 // pin down.
+//
+// Failure model (DESIGN.md §2 convention 12): a draw that throws leaves
+// the session reusable — per-chunk committed states are discarded on
+// failure and rebuilt on the next draw — with one exception: a
+// ProposalDriftError that no ladder rung absorbs indicts the *shared*
+// persistent proposal plan, so the session poisons itself and every
+// subsequent draw throws SessionPoisoned until the caller rebuilds it.
+// `RecoveryOptions` turns failures into policy: each draw gets a retry
+// budget and a bounded degradation ladder (persistent proposal → per-draw
+// proposal → undistilled path → condition() reference), every attempt
+// consuming a private stream forked from the draw's stream by attempt
+// index — so recovered draws remain a function of the seed alone, at
+// every pool size. All retry/degradation/guard activity is observable
+// through the GuardEvent sink and the lifetime counters `health()`
+// returns.
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <memory>
+#include <mutex>
+#include <string>
 #include <vector>
 
 #include "distributions/oracle.h"
@@ -53,6 +72,39 @@ enum class SamplerKind {
   return "unknown";
 }
 
+/// Thrown by every draw on a poisoned session (what() carries the
+/// poisoning reason). Poisoning is deliberate and narrow: it marks shared
+/// state (the persistent proposal plan) as untrustworthy, not a transient
+/// per-draw failure. Rebuild the session to recover.
+class SessionPoisoned : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Per-draw retry/degradation policy. Disabled by default: a failing
+/// draw then throws its typed error directly (the pre-recovery contract,
+/// and the zero-overhead configuration).
+struct RecoveryOptions {
+  /// Master switch. NOTE: enabling recovery changes the per-draw stream
+  /// protocol (each attempt consumes a stream forked from the draw's
+  /// stream by attempt index, instead of the draw stream directly), so
+  /// recovered sequences are reproducible but not bit-comparable to
+  /// recovery-off sequences.
+  bool enabled = false;
+  /// Extra attempts per draw after the first (so max_retries = 3 means
+  /// at most 4 attempts). When the ladder has no rung left to degrade
+  /// to, remaining attempts retry the last rung.
+  std::size_t max_retries = 3;
+  /// Ladder rung: persistent proposal → per-draw proposal (same distill
+  /// options minus persistence; primes a second plan at construction).
+  bool degrade_proposal = true;
+  /// Ladder rung: distilled → undistilled full-n path (lazily pays the
+  /// base oracle's full preprocessing on first use).
+  bool degrade_undistilled = true;
+  /// Ladder rung: commit path → condition() reference.
+  bool degrade_reference = true;
+};
+
 struct SessionOptions {
   SamplerKind kind = SamplerKind::kSequential;
   /// false = run the condition() reference path (fresh conditioned oracle
@@ -69,6 +121,27 @@ struct SessionOptions {
   DistillOptions distill;
   BatchedOptions batched;
   EntropicOptions entropic;
+  /// Per-draw retry/degradation policy (convention 12).
+  RecoveryOptions recovery;
+  /// Optional observer of retry/degradation/guard events; see
+  /// GuardEventSink for the invocation contract.
+  GuardEventSink guard_events;
+};
+
+/// Lifetime counters snapshot from SamplerSession::health(). All counts
+/// are since construction, across draw() and draw_many().
+struct SessionHealth {
+  std::uint64_t draws = 0;        ///< draw attempts started (incl. failed)
+  std::uint64_t failures = 0;     ///< draws that threw out of the session
+  std::uint64_t retries = 0;      ///< extra recovery attempts consumed
+  std::uint64_t degraded_proposal = 0;     ///< draws served on rung 1
+  std::uint64_t degraded_undistilled = 0;  ///< draws served on rung 2
+  std::uint64_t degraded_reference = 0;    ///< draws served on rung 3
+  std::uint64_t spectral_refreshes = 0;    ///< eigensolve fallbacks paid
+  std::uint64_t starvations = 0;           ///< DistillationStarvation seen
+  std::uint64_t proposal_drifts = 0;       ///< ProposalDriftError seen
+  bool poisoned = false;
+  std::string poison_reason;  ///< empty unless poisoned
 };
 
 class SamplerSession {
@@ -80,14 +153,18 @@ class SamplerSession {
                           SessionOptions options = {});
 
   /// One draw on the session's serial state (reset + run; scratch and the
-  /// base preprocessing are reused across calls).
+  /// base preprocessing are reused across calls). Throws SessionPoisoned
+  /// on a poisoned session; any other throw leaves the session reusable.
   [[nodiscard]] SampleResult draw(RandomStream& rng);
 
   /// `count` independent draws, dispatched in chunks on the context's
   /// pool with one committed state per chunk. Draw i consumes a private
   /// stream forked from `rng` by index (the caller's stream advances by
   /// exactly one split), so the result sequence is a function of the seed
-  /// alone — never of the pool size or the chunk layout.
+  /// alone — never of the pool size or the chunk layout. A throwing draw
+  /// propagates exactly one typed exception (the first, in completion
+  /// order) after all in-flight chunks drain; the session stays reusable
+  /// unless the failure poisoned it.
   [[nodiscard]] std::vector<SampleResult> draw_many(
       std::size_t count, RandomStream& rng, const ExecutionContext& ctx);
 
@@ -101,16 +178,64 @@ class SamplerSession {
     return plan_.get();
   }
 
+  /// Snapshot of the session's lifetime failure/recovery counters.
+  /// Thread-safe; counters are relaxed atomics, so a snapshot taken
+  /// while draws are in flight is approximate but never torn per-field.
+  [[nodiscard]] SessionHealth health() const;
+
  private:
+  /// Degradation ladder rungs, in order. kConfigured is whatever the
+  /// options selected; later rungs only apply where they differ from it.
+  enum class Rung { kConfigured = 0, kPerDrawProposal, kUndistilled,
+                    kReference };
+
   [[nodiscard]] std::unique_ptr<CommittedOracle> make_state() const;
   [[nodiscard]] SampleResult run(CommittedOracle& state,
                                  RandomStream& rng) const;
-  [[nodiscard]] SampleResult draw_distilled(RandomStream& rng) const;
+  [[nodiscard]] SampleResult draw_with_plan(const DistillationPlan& plan,
+                                            RandomStream& rng) const;
+  [[nodiscard]] SampleResult run_rung(
+      Rung rung, std::unique_ptr<CommittedOracle>& slot,
+      RandomStream& rng) const;
+  [[nodiscard]] SampleResult draw_indexed(
+      std::size_t index, RandomStream& rng,
+      std::unique_ptr<CommittedOracle>& slot);
+  [[nodiscard]] Rung next_rung(Rung rung) const;
+  void ensure_base_primed() const;
+  void throw_if_poisoned() const;
+  void note_success(SampleResult& result, Rung rung, std::size_t attempt,
+                    std::size_t index);
+  /// Classifies a failed attempt into counters/events; poisons on an
+  /// unrecovered drift when `final_failure`.
+  void note_failure(std::size_t index, std::size_t attempt,
+                    const std::exception_ptr& error, bool final_failure);
+  void poison(std::size_t index, std::size_t attempt,
+              const std::string& reason);
+  void emit(GuardEventKind kind, std::size_t index, std::size_t attempt,
+            std::string detail) const;
 
   const CountingOracle* base_;
   SessionOptions options_;
   std::unique_ptr<CommittedOracle> serial_state_;
   std::unique_ptr<DistillationPlan> plan_;  // non-null iff distill.enabled
+  // Rung 1's plan: same distillation minus the persistent proposal
+  // (non-null only when recovery can degrade a persistent plan).
+  std::unique_ptr<DistillationPlan> perdraw_plan_;
+  mutable std::once_flag base_primed_;  // rungs 2/3 of a distilled session
+
+  std::atomic<std::uint64_t> serial_index_{0};  // draw() scope/event index
+  std::atomic<std::uint64_t> draws_{0};
+  std::atomic<std::uint64_t> failures_{0};
+  std::atomic<std::uint64_t> retries_{0};
+  std::atomic<std::uint64_t> degraded_proposal_{0};
+  std::atomic<std::uint64_t> degraded_undistilled_{0};
+  std::atomic<std::uint64_t> degraded_reference_{0};
+  std::atomic<std::uint64_t> spectral_refreshes_{0};
+  std::atomic<std::uint64_t> starvations_{0};
+  std::atomic<std::uint64_t> proposal_drifts_{0};
+  std::atomic<bool> poisoned_{false};
+  mutable std::mutex state_mutex_;  // guards poison_reason_ + sink calls
+  std::string poison_reason_;
 };
 
 }  // namespace pardpp

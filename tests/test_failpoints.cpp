@@ -1,0 +1,220 @@
+// FailpointRegistry unit tests: trigger semantics (count/skip/prob),
+// seeded reproducibility, scope-keyed deterministic firing, the
+// PARDPP_FAILPOINTS spec parser, and the guard-site probes themselves
+// (cholesky pivot, parallel task bodies, oracle query_many chunks).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "linalg/cholesky.h"
+#include "linalg/factory.h"
+#include "parallel/execution.h"
+#include "parallel/parallel_for.h"
+#include "parallel/thread_pool.h"
+#include "support/failpoint.h"
+#include "support/random.h"
+#include "test_util.h"
+
+namespace pardpp {
+namespace {
+
+// Every test leaves the process-wide registry clean, pass or fail.
+class FailpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override { FailpointRegistry::instance().disarm_all(); }
+  void TearDown() override { FailpointRegistry::instance().disarm_all(); }
+};
+
+TEST_F(FailpointTest, InactiveRegistryIsSilent) {
+  EXPECT_FALSE(FailpointRegistry::armed());
+  EXPECT_FALSE(failpoint("nonexistent.site"));
+  EXPECT_EQ(FailpointRegistry::instance().hits("nonexistent.site"), 0u);
+}
+
+TEST_F(FailpointTest, CountTriggerFiresExactlyCountTimes) {
+  FailpointSpec spec;
+  spec.trigger = FailpointSpec::Trigger::kCount;
+  spec.count = 2;
+  FailpointRegistry::instance().arm("t.count", spec);
+  EXPECT_TRUE(FailpointRegistry::armed());
+  EXPECT_TRUE(failpoint("t.count"));
+  EXPECT_TRUE(failpoint("t.count"));
+  EXPECT_FALSE(failpoint("t.count"));
+  EXPECT_FALSE(failpoint("t.count"));
+  EXPECT_EQ(FailpointRegistry::instance().hits("t.count"), 4u);
+  EXPECT_EQ(FailpointRegistry::instance().fires("t.count"), 2u);
+}
+
+TEST_F(FailpointTest, SkipDefersTheTrigger) {
+  FailpointSpec spec;
+  spec.trigger = FailpointSpec::Trigger::kCount;
+  spec.skip = 2;
+  spec.count = 1;
+  FailpointRegistry::instance().arm("t.skip", spec);
+  EXPECT_FALSE(failpoint("t.skip"));
+  EXPECT_FALSE(failpoint("t.skip"));
+  EXPECT_TRUE(failpoint("t.skip"));
+  EXPECT_FALSE(failpoint("t.skip"));
+}
+
+TEST_F(FailpointTest, ProbabilityTriggerReplaysFromItsSeed) {
+  FailpointSpec spec;
+  spec.trigger = FailpointSpec::Trigger::kProbability;
+  spec.probability = 0.5;
+  spec.seed = 42;
+  const auto pattern_of = [&](std::uint64_t seed) {
+    FailpointSpec s = spec;
+    s.seed = seed;
+    FailpointRegistry::instance().arm("t.prob", s);
+    std::vector<bool> pattern;
+    for (int i = 0; i < 64; ++i) pattern.push_back(failpoint("t.prob"));
+    return pattern;
+  };
+  const auto first = pattern_of(42);
+  const auto replay = pattern_of(42);
+  EXPECT_EQ(first, replay) << "re-arming must reset the hit counter and "
+                              "replay the identical firing pattern";
+  const auto other_seed = pattern_of(43);
+  EXPECT_NE(first, other_seed);
+  // ~50% firing rate, and both outcomes occur.
+  std::size_t fires = 0;
+  for (const bool b : first) fires += b ? 1 : 0;
+  EXPECT_GT(fires, 16u);
+  EXPECT_LT(fires, 48u);
+}
+
+TEST_F(FailpointTest, ScopedHitsCountPerScope) {
+  FailpointSpec spec;
+  spec.trigger = FailpointSpec::Trigger::kCount;
+  spec.count = 1;
+  FailpointRegistry::instance().arm("t.scoped", spec);
+  {
+    const FailpointScope scope(7);
+    EXPECT_TRUE(failpoint("t.scoped"));
+    EXPECT_FALSE(failpoint("t.scoped"));
+  }
+  {
+    // A fresh scope restarts the per-scope ordinal: fires again.
+    const FailpointScope scope(8);
+    EXPECT_TRUE(failpoint("t.scoped"));
+    EXPECT_FALSE(failpoint("t.scoped"));
+  }
+  EXPECT_EQ(FailpointRegistry::instance().fires("t.scoped"), 2u);
+}
+
+TEST_F(FailpointTest, ScopeTokenKeysTheProbabilityHash) {
+  FailpointSpec spec;
+  spec.trigger = FailpointSpec::Trigger::kProbability;
+  spec.probability = 0.5;
+  spec.seed = 11;
+  FailpointRegistry::instance().arm("t.token", spec);
+  const auto pattern_under = [&](std::uint64_t token) {
+    const FailpointScope scope(token);
+    std::vector<bool> pattern;
+    for (int i = 0; i < 64; ++i) pattern.push_back(failpoint("t.token"));
+    return pattern;
+  };
+  const auto token1 = pattern_under(1);
+  const auto token1_again = pattern_under(1);
+  EXPECT_EQ(token1, token1_again)
+      << "same token must replay the identical pattern";
+  EXPECT_NE(token1, pattern_under(2));
+}
+
+TEST_F(FailpointTest, ScopedOnlySpecSuppressedOutsideScopes) {
+  FailpointSpec spec;
+  spec.trigger = FailpointSpec::Trigger::kProbability;
+  spec.probability = 1.0;
+  spec.scoped_only = true;
+  FailpointRegistry::instance().arm("t.scopedonly", spec);
+  EXPECT_FALSE(failpoint("t.scopedonly"));
+  {
+    const FailpointScope scope(3);
+    EXPECT_TRUE(failpoint("t.scopedonly"));
+  }
+  EXPECT_FALSE(failpoint("t.scopedonly"));
+}
+
+TEST_F(FailpointTest, SpecParserArmsSchedules) {
+  auto& registry = FailpointRegistry::instance();
+  EXPECT_EQ(registry.arm_from_spec(
+                "a.site=count:2,skip:1; b.site=prob:0.25,seed:9,scoped"),
+            2u);
+  EXPECT_TRUE(FailpointRegistry::armed());
+  EXPECT_FALSE(failpoint("a.site"));  // skip 1
+  EXPECT_TRUE(failpoint("a.site"));
+  EXPECT_TRUE(failpoint("a.site"));
+  EXPECT_FALSE(failpoint("a.site"));  // count 2 exhausted
+  EXPECT_FALSE(failpoint("b.site"));  // scoped_only, no scope active
+  EXPECT_EQ(registry.arm_from_spec("c.site=off"), 1u);
+  EXPECT_FALSE(failpoint("c.site"));
+}
+
+TEST_F(FailpointTest, SpecParserRejectsMalformedSchedules) {
+  auto& registry = FailpointRegistry::instance();
+  EXPECT_THROW((void)registry.arm_from_spec("noequals"), InvalidArgument);
+  EXPECT_THROW((void)registry.arm_from_spec("a=count:xyz"), InvalidArgument);
+  EXPECT_THROW((void)registry.arm_from_spec("a=prob:1.5"), InvalidArgument);
+  EXPECT_THROW((void)registry.arm_from_spec("a=bogus:1"), InvalidArgument);
+}
+
+TEST_F(FailpointTest, DisarmAllQuiesces) {
+  FailpointSpec spec;
+  spec.trigger = FailpointSpec::Trigger::kProbability;
+  spec.probability = 1.0;
+  FailpointRegistry::instance().arm("t.off", spec);
+  EXPECT_TRUE(failpoint("t.off"));
+  FailpointRegistry::instance().disarm_all();
+  EXPECT_FALSE(FailpointRegistry::armed());
+  EXPECT_FALSE(failpoint("t.off"));
+}
+
+// ---- the wired guard sites fire as their documented typed errors ----
+
+TEST_F(FailpointTest, CholeskyPivotSiteThrowsNumericalError) {
+  RandomStream setup(90210);
+  const Matrix a = random_psd(6, 6, setup, 1e-2);
+  FailpointSpec spec;
+  spec.trigger = FailpointSpec::Trigger::kCount;
+  spec.count = 1;
+  FailpointRegistry::instance().arm("linalg.cholesky.pivot", spec);
+  EXPECT_THROW((void)cholesky_or_throw(a), NumericalError);
+  // The trigger is exhausted: the same call now succeeds — the session
+  // retry story in miniature.
+  EXPECT_NO_THROW((void)cholesky_or_throw(a));
+}
+
+TEST_F(FailpointTest, ParallelTaskSiteThrowsAndPoolStaysUsable) {
+  ThreadPool pool(4);
+  FailpointSpec spec;
+  spec.trigger = FailpointSpec::Trigger::kCount;
+  spec.count = 1;
+  FailpointRegistry::instance().arm("parallel.task", spec);
+  std::atomic<int> counter{0};
+  EXPECT_THROW(
+      parallel_for(pool, 0, 256, [&](std::size_t) { ++counter; }),
+      Error);
+  FailpointRegistry::instance().disarm_all();
+  counter = 0;
+  parallel_for(pool, 0, 256, [&](std::size_t) { ++counter; });
+  EXPECT_EQ(counter.load(), 256);
+}
+
+TEST_F(FailpointTest, QueryManyChunkSiteThrowsNumericalError) {
+  const testing::EnumeratedOracle oracle(
+      6, 2, [](std::span<const int>) { return 0.0; });
+  FailpointSpec spec;
+  spec.trigger = FailpointSpec::Trigger::kProbability;
+  spec.probability = 1.0;
+  FailpointRegistry::instance().arm("oracle.query_many", spec);
+  const std::vector<int> t0;
+  const std::vector<std::span<const int>> ts = {std::span<const int>(t0)};
+  std::vector<double> out(1);
+  EXPECT_THROW(oracle.query_many(ts, out, ExecutionContext::serial()),
+               NumericalError);
+}
+
+}  // namespace
+}  // namespace pardpp

@@ -102,6 +102,107 @@ TEST(ParallelInvoke, RunsAllThunks) {
   EXPECT_EQ(counter.load(), 10);
 }
 
+// ---- exception propagation out of parallel bodies (convention 12) ----
+//
+// The failure-atomicity contract the sampling stack builds on: the first
+// exception (in completion order) wins, every in-flight worker drains
+// before the rethrow, the pool survives, and nested parallel sections
+// propagate through the nesting guard without deadlock. The stress
+// variants are the TSan regression surface — run the suite under
+// -fsanitize=thread to certify the drain path.
+
+TEST(ParallelFor, FirstExceptionWinsAndRangeStopsCleanly) {
+  ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  try {
+    parallel_for(pool, 0, 512, [&](std::size_t i) {
+      if (i == 137) throw Error("first-exception-wins probe");
+      ++ran;
+    });
+    FAIL() << "expected the body's Error to propagate";
+  } catch (const Error& e) {
+    EXPECT_STREQ(e.what(), "first-exception-wins probe");
+  }
+  // Everything that started finished: no torn iteration, no hang.
+  EXPECT_LT(ran.load(), 512);
+}
+
+TEST(ParallelFor, AllBodiesThrowingYieldsExactlyOneException) {
+  ThreadPool pool(4);
+  int caught = 0;
+  try {
+    parallel_for(pool, 0, 256, [&](std::size_t) {
+      throw Error("every body throws");
+    });
+  } catch (const Error&) {
+    ++caught;
+  }
+  EXPECT_EQ(caught, 1);
+}
+
+TEST(ParallelFor, PoolIsReusableAfterAThrowingBody) {
+  ThreadPool pool(3);
+  EXPECT_THROW(parallel_for(pool, 0, 64,
+                            [](std::size_t) { throw Error("boom"); }),
+               Error);
+  std::vector<std::atomic<int>> hits(64);
+  parallel_for(pool, 0, 64, [&](std::size_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, NestedThrowPropagatesThroughTheNestingGuard) {
+  // The inner parallel_for runs inline on a worker thread (nesting
+  // guard); its exception must cross both levels without deadlocking
+  // the shared pool.
+  ThreadPool pool(2);
+  EXPECT_THROW(parallel_for(pool, 0, 8,
+                            [&](std::size_t outer) {
+                              parallel_for(pool, 0, 8, [&](std::size_t i) {
+                                if (outer == 3 && i == 5)
+                                  throw Error("nested boom");
+                              });
+                            }),
+               Error);
+  std::atomic<int> counter{0};
+  parallel_for(pool, 0, 32, [&](std::size_t) { ++counter; });
+  EXPECT_EQ(counter.load(), 32);
+}
+
+TEST(ParallelInvoke, ThrowingThunkPropagatesAfterAllDrain) {
+  ThreadPool pool(2);
+  std::atomic<int> finished{0};
+  std::vector<std::function<void()>> thunks;
+  for (int i = 0; i < 8; ++i) {
+    thunks.push_back([&finished, i] {
+      if (i == 4) throw Error("invoke boom");
+      ++finished;
+    });
+  }
+  EXPECT_THROW(parallel_invoke(pool, std::move(thunks)), Error);
+  EXPECT_EQ(finished.load(), 7) << "non-throwing thunks must all drain";
+}
+
+TEST(ParallelFor, ThrowStressSharedPool) {
+  // TSan stress: repeated throwing parallel sections on one shared pool,
+  // alternating with clean sections, exercising the drain/rethrow path
+  // for races between the failing chunk and still-running workers.
+  ThreadPool pool(4);
+  for (int iteration = 0; iteration < 50; ++iteration) {
+    std::atomic<int> clean{0};
+    EXPECT_THROW(
+        parallel_for(pool, 0, 128,
+                     [&](std::size_t i) {
+                       if (i % 17 == static_cast<std::size_t>(iteration % 17))
+                         throw Error("stress boom");
+                       ++clean;
+                     }),
+        Error);
+    std::atomic<int> counter{0};
+    parallel_for(pool, 0, 64, [&](std::size_t) { ++counter; });
+    ASSERT_EQ(counter.load(), 64) << "iteration " << iteration;
+  }
+}
+
 TEST(Pram, SequentialRoundsAccumulateDepth) {
   PramLedger ledger;
   ledger.round(10, 10);
