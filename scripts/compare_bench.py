@@ -45,6 +45,7 @@ TIME_FIELDS = (
     "full_draw_ms",
     "full_prime_ms",
     "condition_baseline_ms",
+    "persession_wall_ms",
 )
 
 # Host provenance fields stamped into every record by bench_util.h.
@@ -91,6 +92,17 @@ NON_IDENTITY_FIELDS = set(TIME_FIELDS) | set(HOST_FIELDS) | {
     "retries",
     "degraded_draws",
     "guard_failures",
+    # Serving-layer telemetry (convention 13, EXP-SRV): batch shapes and
+    # registry counters are measurements of one run's scheduling, never
+    # identity — two runs of the same config may batch differently.
+    "speedup_vs_persession",
+    "persession_draws_per_sec",
+    "batches",
+    "coalesced_per_batch",
+    "max_coalesced",
+    "queue_peak",
+    "sessions",
+    "poisoned_replacements",
 }
 
 

@@ -43,7 +43,8 @@ if [ "$REUSE" -eq 0 ]; then
     && ./bench/bench_theorem10 \
     && ./bench/bench_theorem41 \
     && ./bench/bench_throughput \
-    && ./bench/bench_linalg_micro)
+    && ./bench/bench_linalg_micro \
+    && ./bench/bench_serving)
 fi
 
 if [ -z "$(ls "$BUILD_DIR"/bench-out/BENCH_*.json 2>/dev/null)" ]; then

@@ -279,6 +279,62 @@ class CompareBenchTest(unittest.TestCase):
         same_host = self.write_dir("same-host", [record(200.0, HOST_A)])
         self.assertEqual(self.compare(exploded, same_host), 1)
 
+    def test_serving_records_pair_across_batch_shapes_and_gate(self):
+        # EXP-SRV records carry coalescing/registry telemetry (batches,
+        # coalesced_per_batch, queue_peak, ...) that depends on dispatch
+        # timing, so two runs of the same config rarely agree on it: the
+        # telemetry must not be identity. Both the coalesced wall clock
+        # (wall_ms) and the one-session-per-request baseline
+        # (persession_wall_ms) are timings that survive the snapshot and
+        # gate a same-host slowdown.
+        def serving(wall, persession, host, **stats):
+            entry = {
+                "experiment": "serving_coalescing",
+                "family": "symmetric",
+                "n": 128,
+                "k": 10,
+                "requests": 16,
+                "pool": 1,
+                "wall_ms": wall,
+                "persession_wall_ms": persession,
+            }
+            entry.update(stats)
+            entry.update(host)
+            return entry
+
+        bench_dir = self.write_dir(
+            "out",
+            [serving(30.0, 200.0, HOST_A, batches=4, coalesced_per_batch=4.0,
+                     max_coalesced=7, queue_peak=12, sessions=1,
+                     poisoned_replacements=0, speedup_vs_persession=6.6,
+                     persession_draws_per_sec=80.0)],
+        )
+        snapshot = os.path.join(self.tmp, "BENCH_trajectory.json")
+        self.assertEqual(compare_bench.write_snapshot(snapshot, bench_dir), 0)
+        with open(snapshot) as handle:
+            (entry,) = json.load(handle)
+        self.assertEqual(entry["persession_wall_ms"], 200.0)
+        self.assertNotIn("batches", entry)  # telemetry, not identity
+        exploded = compare_bench.snapshot_as_baseline(
+            snapshot, os.path.join(self.tmp, "exploded")
+        )
+        # Different batch shape, same identity: paired and clean.
+        reshaped = self.write_dir(
+            "reshaped",
+            [serving(31.0, 201.0, HOST_A, batches=16, coalesced_per_batch=1.0,
+                     max_coalesced=1, queue_peak=1, sessions=1,
+                     poisoned_replacements=0, speedup_vs_persession=6.5,
+                     persession_draws_per_sec=79.0)],
+        )
+        self.assertEqual(self.compare(exploded, reshaped), 0)
+        # A regression in either timing lane gates: here the coalesced
+        # path doubled while the baseline held still.
+        slower = self.write_dir(
+            "slower",
+            [serving(60.0, 200.0, HOST_A, batches=4)],
+        )
+        self.assertEqual(self.compare(exploded, slower), 1)
+
     def test_guard_counters_are_informational_not_identity(self):
         # Session health counters (retries / degraded_draws /
         # guard_failures) differ between a clean baseline and a

@@ -55,6 +55,13 @@
 #include "sampling/session.h"
 #include "sampling/unconstrained.h"
 
+// Serving layer (session registry, request coalescing, wire protocol)
+#include "serving/config.h"
+#include "serving/fingerprint.h"
+#include "serving/protocol.h"
+#include "serving/registry.h"
+#include "serving/server.h"
+
 // Planar perfect matchings
 #include "planar/enumerate.h"
 #include "planar/faces.h"

@@ -25,6 +25,11 @@ enum class GuardEventKind {
   kPoisoned,            ///< the session poisoned itself (detail = reason)
 };
 
+/// Number of GuardEventKind values — sizes per-kind counter arrays (the
+/// serving layer's stats surface). Keep in sync with the enum.
+inline constexpr std::size_t kGuardEventKindCount =
+    static_cast<std::size_t>(GuardEventKind::kPoisoned) + 1;
+
 [[nodiscard]] constexpr const char* guard_event_kind_name(
     GuardEventKind kind) noexcept {
   switch (kind) {

@@ -11,9 +11,37 @@
 
 namespace pardpp {
 
+void DistillOptions::validate(std::size_t k) const {
+  check_arg(max_attempts != 0,
+            "DistillOptions::max_attempts: must be positive (every draw "
+            "proposes at least one candidate pool)");
+  if (candidate_budget != 0 && k != 0) {
+    check_arg(candidate_budget >= k,
+              "DistillOptions::candidate_budget: " +
+                  std::to_string(candidate_budget) +
+                  " cannot seat a sample of size " + std::to_string(k) +
+                  " (every pool would starve)");
+  }
+  if (sparsified_domain != 0) {
+    check_arg(persistent_proposal,
+              "DistillOptions::sparsified_domain: set without "
+              "persistent_proposal — the domain size only shapes the "
+              "persistent sparsified proposal and would be silently "
+              "ignored");
+    if (k != 0) {
+      check_arg(sparsified_domain >= k,
+                "DistillOptions::sparsified_domain: " +
+                    std::to_string(sparsified_domain) +
+                    " is below the sample size " + std::to_string(k) +
+                    " (the alias domain could never cover a sample)");
+    }
+  }
+}
+
 DistillationPlan::DistillationPlan(const CountingOracle& base,
                                    DistillOptions options)
     : base_(&base), options_(options), k_(base.sample_size()) {
+  options_.validate(k_);
   const DistillationProfile profile = base.distillation_profile();
   check_arg(!profile.weights.empty(),
             "DistillationPlan: family " + base.name() +

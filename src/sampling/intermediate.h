@@ -101,6 +101,14 @@ struct DistillOptions {
   /// Pools between periodic domain re-validations on the persistent
   /// path (heavy-tail pools additionally re-validate immediately).
   std::size_t refresh_interval = 4096;
+
+  /// Throws InvalidArgument naming the offending field. `k` is the
+  /// target sample size when known (0 skips the k-relative checks): a
+  /// candidate budget or sparsified domain below k can never seat k
+  /// distinct items, which today surfaces as guaranteed starvation deep
+  /// inside a draw. Called by DistillationPlan's constructor and by
+  /// SessionOptions::validate.
+  void validate(std::size_t k = 0) const;
 };
 
 /// Carries the forensic trail of a distillation run that exhausted

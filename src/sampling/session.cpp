@@ -1,6 +1,8 @@
 #include "sampling/session.h"
 
+#include <cstddef>
 #include <exception>
+#include <iterator>
 #include <optional>
 #include <string>
 #include <utility>
@@ -10,9 +12,60 @@
 
 namespace pardpp {
 
+namespace {
+
+/// Source of SessionHealth::session_epoch: process-wide, monotone,
+/// starting at 1 so 0 reads as "no session".
+std::uint64_t next_session_epoch() {
+  static std::atomic<std::uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+}  // namespace
+
+void RecoveryOptions::validate() const {
+  if (!enabled) return;
+  check_arg(max_retries != 0,
+            "RecoveryOptions::max_retries: enabled recovery with a zero "
+            "retry budget never retries (disable recovery instead — "
+            "enabling it alone already changes the per-draw stream "
+            "protocol)");
+  check_arg(degrade_proposal || degrade_undistilled || degrade_reference,
+            "RecoveryOptions::degrade_*: enabled recovery with every "
+            "ladder rung disabled can only retry the failing "
+            "configuration in place");
+}
+
+void SessionOptions::validate(std::size_t sample_size) const {
+  check_arg(batched.machine_cap != 0,
+            "BatchedOptions::machine_cap: must be positive");
+  check_arg(batched.failure_prob > 0.0 && batched.failure_prob < 1.0,
+            "BatchedOptions::failure_prob: must lie in (0, 1)");
+  check_arg(entropic.machine_cap != 0,
+            "EntropicOptions::machine_cap: must be positive");
+  check_arg(entropic.failure_prob > 0.0 && entropic.failure_prob < 1.0,
+            "EntropicOptions::failure_prob: must lie in (0, 1)");
+  check_arg(entropic.c > 0.0, "EntropicOptions::c: must be positive");
+  check_arg(entropic.alpha > 0.0,
+            "EntropicOptions::alpha: must be positive");
+  recovery.validate();
+  if (distill.enabled) {
+    distill.validate(sample_size);
+  } else {
+    check_arg(!distill.persistent_proposal,
+              "DistillOptions::persistent_proposal: set without "
+              "distill.enabled — the persistent proposal only exists "
+              "inside the distillation front end and would be silently "
+              "ignored");
+  }
+}
+
 SamplerSession::SamplerSession(const CountingOracle& base,
                                SessionOptions options)
-    : base_(&base), options_(std::move(options)) {
+    : base_(&base),
+      options_(std::move(options)),
+      epoch_(next_session_epoch()) {
+  options_.validate(base.sample_size());
   if (options_.distill.enabled) {
     // The distillation plan is the whole point of the front end: an O(n)
     // pass over the ensemble diagonal instead of the full-n spectral
@@ -334,6 +387,81 @@ std::vector<SampleResult> SamplerSession::draw_many(
   return out;
 }
 
+std::vector<DrawBatchOutcome> SamplerSession::draw_many_batched(
+    const std::vector<DrawBatchRequest>& requests,
+    const ExecutionContext& ctx) {
+  throw_if_poisoned();
+  // Per-request stream forks, each consuming exactly what a standalone
+  // `RandomStream rng(seed); draw_many(count, rng, ctx)` would consume
+  // (one split of the seeded root stream) — the whole determinism
+  // contract lives here.
+  std::vector<MachineStreams> streams;
+  streams.reserve(requests.size());
+  std::size_t total = 0;
+  for (const DrawBatchRequest& request : requests) {
+    RandomStream root(request.seed);
+    streams.emplace_back(root);
+    total += request.count;
+  }
+  // Flat index → (request, request-local draw index). The local index is
+  // what draw_indexed keys streams, failpoint scopes, and guard events
+  // on, so a coalesced draw is indistinguishable from its standalone
+  // counterpart.
+  std::vector<std::size_t> request_of(total);
+  std::vector<std::size_t> local_of(total);
+  {
+    std::size_t flat = 0;
+    for (std::size_t r = 0; r < requests.size(); ++r) {
+      for (std::size_t i = 0; i < requests[r].count; ++i, ++flat) {
+        request_of[flat] = r;
+        local_of[flat] = i;
+      }
+    }
+  }
+
+  std::vector<SampleResult> flat_results(total);
+  std::vector<std::exception_ptr> flat_errors(total);
+  ctx.for_each_chunk(
+      0, total,
+      [&](std::size_t lo, std::size_t hi) {
+        // One committed state per chunk, exactly as draw_many: the state
+        // is reset between draws, so sharing it across request
+        // boundaries never leaks one request's conditioning into the
+        // next. Unlike draw_many, a throwing draw is captured per flat
+        // index instead of aborting the chunk — failures must be
+        // isolated to the request that owns them.
+        std::unique_ptr<CommittedOracle> state;
+        for (std::size_t i = lo; i < hi; ++i) {
+          RandomStream stream = streams[request_of[i]].stream(local_of[i]);
+          try {
+            flat_results[i] = draw_indexed(local_of[i], stream, state);
+          } catch (...) {
+            flat_errors[i] = std::current_exception();
+          }
+        }
+      },
+      /*grain=*/1);
+
+  std::vector<DrawBatchOutcome> outcomes(requests.size());
+  std::size_t flat = 0;
+  for (std::size_t r = 0; r < requests.size(); ++r) {
+    DrawBatchOutcome& outcome = outcomes[r];
+    for (std::size_t i = 0; i < requests[r].count; ++i, ++flat) {
+      if (outcome.error == nullptr && flat_errors[flat] != nullptr)
+        outcome.error = flat_errors[flat];
+    }
+    if (outcome.error == nullptr) {
+      const std::size_t base = flat - requests[r].count;
+      outcome.results.assign(
+          std::make_move_iterator(flat_results.begin() +
+                                  static_cast<std::ptrdiff_t>(base)),
+          std::make_move_iterator(flat_results.begin() +
+                                  static_cast<std::ptrdiff_t>(flat)));
+    }
+  }
+  return outcomes;
+}
+
 SessionHealth SamplerSession::health() const {
   SessionHealth health;
   health.draws = draws_.load(std::memory_order_relaxed);
@@ -349,6 +477,7 @@ SessionHealth SamplerSession::health() const {
       spectral_refreshes_.load(std::memory_order_relaxed);
   health.starvations = starvations_.load(std::memory_order_relaxed);
   health.proposal_drifts = proposal_drifts_.load(std::memory_order_relaxed);
+  health.session_epoch = epoch_;
   health.poisoned = poisoned_.load(std::memory_order_acquire);
   if (health.poisoned) {
     const std::lock_guard<std::mutex> lock(state_mutex_);

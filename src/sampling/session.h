@@ -36,11 +36,14 @@
 // returns.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "distributions/oracle.h"
@@ -70,6 +73,22 @@ enum class SamplerKind {
       return "entropic";
   }
   return "unknown";
+}
+
+/// Every sampler kind, in declaration order — the programmatic source for
+/// usage strings and config enumerations (keep in sync with SamplerKind).
+inline constexpr std::array<SamplerKind, 3> kAllSamplerKinds = {
+    SamplerKind::kSequential, SamplerKind::kBatched, SamplerKind::kEntropic};
+
+/// Inverse of sampler_kind_name: nullopt for unknown names, so callers
+/// (the CLI, the config parser) report their own typed error instead of
+/// string-compare ladders drifting out of sync with the enum.
+[[nodiscard]] constexpr std::optional<SamplerKind> sampler_kind_from_name(
+    std::string_view name) noexcept {
+  for (const SamplerKind kind : kAllSamplerKinds) {
+    if (name == sampler_kind_name(kind)) return kind;
+  }
+  return std::nullopt;
 }
 
 /// Thrown by every draw on a poisoned session (what() carries the
@@ -103,6 +122,11 @@ struct RecoveryOptions {
   bool degrade_undistilled = true;
   /// Ladder rung: commit path → condition() reference.
   bool degrade_reference = true;
+
+  /// Throws InvalidArgument naming the offending field: enabled recovery
+  /// with a zero retry budget, or with every ladder rung disabled, is a
+  /// silent no-op the caller almost certainly did not intend.
+  void validate() const;
 };
 
 struct SessionOptions {
@@ -126,6 +150,14 @@ struct SessionOptions {
   /// Optional observer of retry/degradation/guard events; see
   /// GuardEventSink for the invocation contract.
   GuardEventSink guard_events;
+
+  /// Whole-config validation, called at SamplerSession construction so a
+  /// bad config fails fast with a typed InvalidArgument naming the field
+  /// instead of surfacing as a deep NumericalError or a silent no-op.
+  /// `sample_size` is the target k when known (0 skips the k-relative
+  /// distillation checks); delegates to RecoveryOptions::validate and
+  /// DistillOptions::validate.
+  void validate(std::size_t sample_size = 0) const;
 };
 
 /// Lifetime counters snapshot from SamplerSession::health(). All counts
@@ -140,8 +172,30 @@ struct SessionHealth {
   std::uint64_t spectral_refreshes = 0;    ///< eigensolve fallbacks paid
   std::uint64_t starvations = 0;           ///< DistillationStarvation seen
   std::uint64_t proposal_drifts = 0;       ///< ProposalDriftError seen
+  /// Process-wide monotone epoch stamped at session construction: two
+  /// snapshots with different epochs came from different SamplerSession
+  /// objects, so registry consumers detect a poisoned-session replacement
+  /// across snapshots even when every counter happens to match.
+  std::uint64_t session_epoch = 0;
   bool poisoned = false;
   std::string poison_reason;  ///< empty unless poisoned
+};
+
+/// One coalesced sub-request for SamplerSession::draw_many_batched: a
+/// request's draws are a function of its own seed alone, exactly as if it
+/// had run `RandomStream rng(seed); draw_many(count, rng, ctx)` by itself.
+struct DrawBatchRequest {
+  std::size_t count = 0;
+  std::uint64_t seed = 0;
+};
+
+/// Per-request outcome of a coalesced batch. Failures are isolated per
+/// request: `error` holds the first failing draw's exception (by draw
+/// index) and `results` is empty; on success `error` is null and
+/// `results` has exactly `count` samples.
+struct DrawBatchOutcome {
+  std::vector<SampleResult> results;
+  std::exception_ptr error;
 };
 
 class SamplerSession {
@@ -168,9 +222,28 @@ class SamplerSession {
   [[nodiscard]] std::vector<SampleResult> draw_many(
       std::size_t count, RandomStream& rng, const ExecutionContext& ctx);
 
+  /// Coalesced serving entry point: flattens many per-seed requests into
+  /// one chunked dispatch on the context's pool. Determinism contract:
+  /// request r's results are bit-identical to a standalone
+  /// `RandomStream rng(requests[r].seed); draw_many(requests[r].count,
+  /// rng, ctx)` at every pool size — each request forks its own
+  /// MachineStreams from its own seed, and draw i of a request consumes
+  /// the stream for its request-local index. Unlike draw_many, a failing
+  /// draw does not throw out: it fails only its own request's outcome
+  /// (other requests in the batch still complete), except that a failure
+  /// which poisons the session makes the remaining draws fail with
+  /// SessionPoisoned. Throws SessionPoisoned if already poisoned.
+  [[nodiscard]] std::vector<DrawBatchOutcome> draw_many_batched(
+      const std::vector<DrawBatchRequest>& requests,
+      const ExecutionContext& ctx);
+
   [[nodiscard]] const SessionOptions& options() const noexcept {
     return options_;
   }
+
+  /// The process-wide monotone epoch stamped at construction (see
+  /// SessionHealth::session_epoch).
+  [[nodiscard]] std::uint64_t epoch() const noexcept { return epoch_; }
 
   /// The primed distillation plan (nullptr unless distill.enabled) — the
   /// persistent-proposal stats surface for benches and tests.
@@ -216,6 +289,7 @@ class SamplerSession {
 
   const CountingOracle* base_;
   SessionOptions options_;
+  std::uint64_t epoch_;  // stamped from a process-wide monotone counter
   std::unique_ptr<CommittedOracle> serial_state_;
   std::unique_ptr<DistillationPlan> plan_;  // non-null iff distill.enabled
   // Rung 1's plan: same distillation minus the persistent proposal

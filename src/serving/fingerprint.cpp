@@ -1,0 +1,88 @@
+#include "serving/fingerprint.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace pardpp::serving {
+
+namespace {
+
+/// splitmix64 finalizer: full-avalanche 64-bit mix.
+std::uint64_t avalanche(std::uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+}  // namespace
+
+std::string KernelFingerprint::to_string() const {
+  char buffer[33];
+  std::snprintf(buffer, sizeof(buffer), "%016llx%016llx",
+                static_cast<unsigned long long>(hi),
+                static_cast<unsigned long long>(lo));
+  return buffer;
+}
+
+void FingerprintBuilder::mix_word(std::uint64_t word) {
+  // Two lanes, differently offset and cross-fed, so each input word
+  // perturbs 128 bits of state through independent avalanches.
+  a_ = avalanche(a_ ^ word);
+  b_ = avalanche(b_ + (word ^ 0x9e3779b97f4a7c15ULL) + (a_ << 1));
+}
+
+void FingerprintBuilder::mix_u64(std::uint64_t value) { mix_word(value); }
+
+void FingerprintBuilder::mix_bytes(const void* data, std::size_t size) {
+  mix_word(static_cast<std::uint64_t>(size));  // length delimiter
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  std::uint64_t word = 0;
+  while (size >= 8) {
+    std::memcpy(&word, bytes, 8);
+    mix_word(word);
+    bytes += 8;
+    size -= 8;
+  }
+  if (size > 0) {
+    word = 0;
+    std::memcpy(&word, bytes, size);
+    mix_word(word);
+  }
+}
+
+void FingerprintBuilder::mix(std::string_view text) {
+  mix_bytes(text.data(), text.size());
+}
+
+void FingerprintBuilder::mix_matrix(const Matrix& matrix) {
+  mix_u64(matrix.rows());
+  mix_u64(matrix.cols());
+  const std::span<const double> flat = matrix.flat();
+  mix_bytes(flat.data(), flat.size() * sizeof(double));
+}
+
+KernelFingerprint FingerprintBuilder::finish() const {
+  // Final cross-avalanche so short inputs still fill both words.
+  KernelFingerprint fp;
+  fp.hi = avalanche(a_ ^ (b_ >> 32));
+  fp.lo = avalanche(b_ ^ (a_ << 32) ^ 0xd6e8feb86659fd93ULL);
+  return fp;
+}
+
+KernelFingerprint fingerprint_kernel(std::string_view family,
+                                     const Matrix& matrix,
+                                     std::size_t sample_size,
+                                     std::string_view canonical_config) {
+  FingerprintBuilder builder;
+  builder.mix("pardpp.kernel.v1");
+  builder.mix(family);
+  builder.mix_matrix(matrix);
+  builder.mix_u64(static_cast<std::uint64_t>(sample_size));
+  builder.mix(canonical_config);
+  return builder.finish();
+}
+
+}  // namespace pardpp::serving

@@ -1,0 +1,71 @@
+// Stable 128-bit kernel fingerprints — the session-registry key.
+//
+// A fingerprint identifies "the same serving session": the oracle family,
+// the exact ensemble/feature bytes, the target sample size, and the
+// canonical session-config text (serving/config.h), so two requests that
+// would prime byte-identical sessions hash identically and coalesce onto
+// one registry entry. The hash is two decorrelated splitmix-finalizer
+// lanes over length-delimited fields — deterministic across runs and
+// processes on the same architecture, collision-resistant enough for a
+// registry key, and NOT cryptographic (a tenant who can choose kernel
+// bytes could search for collisions; tenants this layer serves are
+// trusted).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "linalg/matrix.h"
+
+namespace pardpp::serving {
+
+struct KernelFingerprint {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+
+  friend bool operator==(const KernelFingerprint&,
+                         const KernelFingerprint&) = default;
+
+  /// 32 lowercase hex digits (hi then lo) — the wire/stats spelling.
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Hasher for unordered containers keyed by fingerprint.
+struct KernelFingerprintHasher {
+  [[nodiscard]] std::size_t operator()(
+      const KernelFingerprint& fp) const noexcept {
+    return static_cast<std::size_t>(fp.hi ^ (fp.lo * 0x9e3779b97f4a7c15ULL));
+  }
+};
+
+/// Incremental builder. Every field is length-delimited before its bytes
+/// are mixed, so adjacent fields cannot alias ("ab"+"c" vs "a"+"bc").
+class FingerprintBuilder {
+ public:
+  void mix_bytes(const void* data, std::size_t size);
+  void mix(std::string_view text);
+  void mix_u64(std::uint64_t value);
+  /// Dimensions plus the raw row-major double bytes (bit-pattern hash:
+  /// -0.0 and 0.0, or differently-rounded entries, are different kernels).
+  void mix_matrix(const Matrix& matrix);
+  [[nodiscard]] KernelFingerprint finish() const;
+
+ private:
+  void mix_word(std::uint64_t word);
+
+  std::uint64_t a_ = 0x6a09e667f3bcc908ULL;  // sqrt(2), sqrt(3) fractions
+  std::uint64_t b_ = 0xbb67ae8584caa73bULL;
+};
+
+/// The registry key for one serving session: family tag ("features",
+/// "symmetric", "general", ...), the ensemble or feature matrix, the
+/// target sample size, and the canonical config text from
+/// SessionConfig::to_string (canonical — so two spellings of the same
+/// config fingerprint identically).
+[[nodiscard]] KernelFingerprint fingerprint_kernel(
+    std::string_view family, const Matrix& matrix, std::size_t sample_size,
+    std::string_view canonical_config);
+
+}  // namespace pardpp::serving

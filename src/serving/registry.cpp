@@ -1,0 +1,122 @@
+#include "serving/registry.h"
+
+#include <utility>
+
+namespace pardpp::serving {
+
+ServingSession::ServingSession(std::unique_ptr<CountingOracle> oracle,
+                               SessionOptions options,
+                               std::size_t resident_bytes)
+    : oracle_(std::move(oracle)), resident_bytes_(resident_bytes) {
+  // Chain the per-kind counters in front of any caller sink. The sink
+  // runs under the session's state mutex, so the increments are cheap
+  // relaxed stores on an already-serialized path.
+  GuardEventSink user_sink = std::move(options.guard_events);
+  options.guard_events = [this, user_sink = std::move(user_sink)](
+                             const GuardEvent& event) {
+    const auto kind = static_cast<std::size_t>(event.kind);
+    if (kind < guard_counts_.size())
+      guard_counts_[kind].fetch_add(1, std::memory_order_relaxed);
+    if (user_sink) user_sink(event);
+  };
+  session_ = std::make_unique<SamplerSession>(*oracle_, std::move(options));
+}
+
+std::array<std::uint64_t, kGuardEventKindCount>
+ServingSession::guard_event_counts() const {
+  std::array<std::uint64_t, kGuardEventKindCount> counts{};
+  for (std::size_t i = 0; i < counts.size(); ++i)
+    counts[i] = guard_counts_[i].load(std::memory_order_relaxed);
+  return counts;
+}
+
+std::shared_ptr<ServingSession> SessionRegistry::acquire(
+    const KernelFingerprint& fingerprint, const SessionOptions& options,
+    std::size_t resident_bytes, const OracleFactory& make_oracle) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.lookups;
+  const auto found = index_.find(fingerprint);
+  if (found != index_.end()) {
+    const auto entry_it = found->second;
+    if (!entry_it->session->session().health().poisoned) {
+      ++stats_.hits;
+      lru_.splice(lru_.begin(), lru_, entry_it);  // touch
+      return entry_it->session;
+    }
+    // Poisoned: build the replacement first, so a throwing rebuild
+    // leaves the poisoned entry resident (the next acquire retries the
+    // rebuild; handing out the poisoned session is never an option —
+    // every draw on it throws SessionPoisoned anyway).
+    auto replacement = std::make_shared<ServingSession>(
+        make_oracle(), options, resident_bytes);
+    ++stats_.poisoned_replacements;
+    stats_.resident_bytes -= entry_it->session->resident_bytes();
+    stats_.resident_bytes += replacement->resident_bytes();
+    entry_it->session = std::move(replacement);
+    lru_.splice(lru_.begin(), lru_, entry_it);
+    evict_over_budget_locked();
+    return lru_.front().session;
+  }
+  ++stats_.misses;
+  auto session = std::make_shared<ServingSession>(make_oracle(), options,
+                                                  resident_bytes);
+  lru_.push_front(Entry{fingerprint, std::move(session)});
+  index_.emplace(fingerprint, lru_.begin());
+  stats_.resident_bytes += lru_.front().session->resident_bytes();
+  ++stats_.sessions;
+  evict_over_budget_locked();
+  return lru_.front().session;
+}
+
+void SessionRegistry::evict_over_budget_locked() {
+  while (stats_.resident_bytes > options_.max_resident_bytes &&
+         lru_.size() > 1) {
+    const Entry& coldest = lru_.back();
+    stats_.resident_bytes -= coldest.session->resident_bytes();
+    index_.erase(coldest.fingerprint);
+    lru_.pop_back();
+    --stats_.sessions;
+    ++stats_.evictions;
+  }
+}
+
+std::shared_ptr<ServingSession> SessionRegistry::peek(
+    const KernelFingerprint& fingerprint) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto found = index_.find(fingerprint);
+  return found == index_.end() ? nullptr : found->second->session;
+}
+
+std::vector<KernelFingerprint> SessionRegistry::lru_order() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<KernelFingerprint> order;
+  order.reserve(lru_.size());
+  for (const Entry& entry : lru_) order.push_back(entry.fingerprint);
+  return order;
+}
+
+std::vector<std::pair<KernelFingerprint, std::shared_ptr<ServingSession>>>
+SessionRegistry::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::pair<KernelFingerprint, std::shared_ptr<ServingSession>>>
+      out;
+  out.reserve(lru_.size());
+  for (const Entry& entry : lru_) out.emplace_back(entry.fingerprint,
+                                                   entry.session);
+  return out;
+}
+
+RegistryStats SessionRegistry::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+void SessionRegistry::clear() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  lru_.clear();
+  index_.clear();
+  stats_.sessions = 0;
+  stats_.resident_bytes = 0;
+}
+
+}  // namespace pardpp::serving

@@ -1,0 +1,150 @@
+// Session registry: long-lived SamplerSessions keyed by kernel
+// fingerprint, with LRU eviction by resident-bytes budget and
+// poisoned-session replacement (DESIGN.md §2 convention 13).
+//
+// An entry owns its oracle AND its session (the session holds a
+// reference into the oracle, so the pair lives and dies together), plus
+// a per-kind GuardEvent counter array the stats surface reads without
+// taking the session's sink lock. Entries are handed out as shared_ptr:
+// eviction or replacement removes an entry from the registry but
+// in-flight holders keep it alive until their batch drains — an evicted
+// session finishes its work, it is just never handed out again.
+//
+// Poisoned replacement: acquire() on a fingerprint whose resident
+// session is poisoned (SessionHealth::poisoned) builds a fresh entry in
+// place and returns it — clients never receive a poisoned session. The
+// replacement gets a new SessionHealth::session_epoch, which is how
+// consumers holding old health snapshots detect the swap.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "distributions/oracle.h"
+#include "sampling/diagnostics.h"
+#include "sampling/session.h"
+#include "serving/fingerprint.h"
+
+namespace pardpp::serving {
+
+/// One registry entry: oracle + primed session + guard-event counters.
+/// Non-movable (the session's guard sink captures `this`).
+class ServingSession {
+ public:
+  /// Takes ownership of the oracle; primes the session immediately (so
+  /// the construction cost is paid by the acquiring request, once).
+  /// A caller-provided options.guard_events sink is chained after the
+  /// counter update. `resident_bytes` is the caller's cost estimate the
+  /// registry charges against its budget.
+  ServingSession(std::unique_ptr<CountingOracle> oracle,
+                 SessionOptions options, std::size_t resident_bytes);
+  ServingSession(const ServingSession&) = delete;
+  ServingSession& operator=(const ServingSession&) = delete;
+
+  [[nodiscard]] SamplerSession& session() noexcept { return *session_; }
+  [[nodiscard]] const SamplerSession& session() const noexcept {
+    return *session_;
+  }
+  [[nodiscard]] const CountingOracle& oracle() const noexcept {
+    return *oracle_;
+  }
+  [[nodiscard]] std::size_t resident_bytes() const noexcept {
+    return resident_bytes_;
+  }
+
+  /// Per-kind lifetime GuardEvent counts (indexed by GuardEventKind).
+  [[nodiscard]] std::array<std::uint64_t, kGuardEventKindCount>
+  guard_event_counts() const;
+
+ private:
+  std::unique_ptr<CountingOracle> oracle_;
+  std::size_t resident_bytes_;
+  std::array<std::atomic<std::uint64_t>, kGuardEventKindCount>
+      guard_counts_{};
+  std::unique_ptr<SamplerSession> session_;  // last: references the above
+};
+
+struct RegistryOptions {
+  /// LRU budget: after an insert pushes the resident-byte sum past this,
+  /// least-recently-used entries are dropped (the just-acquired entry is
+  /// never dropped, so one oversized session still serves).
+  std::size_t max_resident_bytes = std::size_t{256} << 20;
+};
+
+struct RegistryStats {
+  std::uint64_t lookups = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;  ///< cold builds (first acquire of a key)
+  std::uint64_t evictions = 0;
+  std::uint64_t poisoned_replacements = 0;
+  std::size_t sessions = 0;        ///< resident entries right now
+  std::size_t resident_bytes = 0;  ///< sum of resident estimates
+};
+
+class SessionRegistry {
+ public:
+  /// Builds the oracle for a cold (or replacement) entry. Called under
+  /// the registry lock: concurrent acquires of the same fingerprint
+  /// build once, at the cost of serializing cold builds of *different*
+  /// kernels — acceptable for a build that is paid once per kernel.
+  using OracleFactory = std::function<std::unique_ptr<CountingOracle>()>;
+
+  explicit SessionRegistry(RegistryOptions options = {})
+      : options_(options) {}
+
+  /// Hit: touches the LRU slot and returns the resident session.
+  /// Poisoned hit: replaces the entry (fresh oracle + session) and
+  /// returns the replacement. Miss: builds, inserts most-recent, then
+  /// evicts cold entries until the byte budget holds. Construction
+  /// exceptions (oracle factory or session validate/prime) propagate to
+  /// the caller and leave the registry unchanged.
+  [[nodiscard]] std::shared_ptr<ServingSession> acquire(
+      const KernelFingerprint& fingerprint, const SessionOptions& options,
+      std::size_t resident_bytes, const OracleFactory& make_oracle);
+
+  /// The resident session for a fingerprint without touching LRU order
+  /// or counters (stats/tests); nullptr when absent.
+  [[nodiscard]] std::shared_ptr<ServingSession> peek(
+      const KernelFingerprint& fingerprint) const;
+
+  /// Fingerprints most-recently-used first.
+  [[nodiscard]] std::vector<KernelFingerprint> lru_order() const;
+
+  /// Every resident entry, most-recently-used first (the stats surface).
+  [[nodiscard]] std::vector<
+      std::pair<KernelFingerprint, std::shared_ptr<ServingSession>>>
+  snapshot() const;
+
+  [[nodiscard]] RegistryStats stats() const;
+
+  void clear();
+
+ private:
+  struct Entry {
+    KernelFingerprint fingerprint;
+    std::shared_ptr<ServingSession> session;
+  };
+
+  /// Drops cold-end entries while over budget (never the front — the
+  /// entry the current acquire just touched or inserted).
+  void evict_over_budget_locked();
+
+  mutable std::mutex mutex_;
+  RegistryOptions options_;
+  std::list<Entry> lru_;  // front = most recently used
+  std::unordered_map<KernelFingerprint, std::list<Entry>::iterator,
+                     KernelFingerprintHasher>
+      index_;
+  RegistryStats stats_;
+};
+
+}  // namespace pardpp::serving

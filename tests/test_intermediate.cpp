@@ -498,7 +498,7 @@ TEST(PersistentProposalTest, HeavyTailPoolsTriggerRevalidation) {
   // A tiny-domain draw() surfaces the tail counters in the per-draw
   // diagnostics (nearly every candidate falls back to the tail there).
   DistillOptions tiny = options;
-  tiny.sparsified_domain = 1;
+  tiny.sparsified_domain = 2;  // = k, the smallest domain validate() admits
   const DistillationPlan tiny_plan(oracle, tiny);
   const auto result = tiny_plan.draw(
       rng, [](const CountingOracle& restricted, RandomStream& inner_rng) {

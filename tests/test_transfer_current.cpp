@@ -134,7 +134,9 @@ TEST(SpanningTreeStatTest, SessionDrawsAreUniformOverTrees) {
   distilled.distill.candidate_budget = 48;
   SessionOptions persistent = distilled;
   persistent.distill.persistent_proposal = true;
-  persistent.distill.sparsified_domain = 4;  // force the tail fallback
+  // Smallest domain validate() admits (k = 5 edges per tree), still well
+  // below the edge count — forces the tail fallback.
+  persistent.distill.sparsified_domain = 5;
   const SessionOptions variants[] = {plain, distilled, persistent};
 
   const std::size_t hw =
